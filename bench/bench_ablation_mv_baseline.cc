@@ -1,0 +1,85 @@
+// §2.6 comparison — our method vs the traditional materialized-view
+// approach to empty detection. Both caches observe the same stream of
+// executed empty queries; probes then arrive in four families:
+//   exact repeats, narrowed predicates, changed projections, and
+//   superset joins. Whole-query view matching only answers the first
+//   family; atomic-query-part coverage answers all four.
+
+#include "bench_common.h"
+#include "mv/mv_cache.h"
+#include "types/date.h"
+
+using namespace erq;
+using namespace erq::bench;
+
+int main() {
+  PrintHeader("Ablation — C_aqp coverage vs traditional MV exact matching",
+              "hit rate per probe family after observing the same empty "
+              "queries (§2.6 capability comparison)");
+
+  Environment env = Environment::Build(1.0, 21, 500);
+  EmptyResultConfig config;
+  EmptyResultDetector detector(config);
+  MvEmptyCache mv(100000);
+  QueryGenerator gen(&env.instance, 5);
+
+  // Observe 100 executed empty Q1 queries in both systems.
+  std::vector<Q1Spec> observed;
+  for (int i = 0; i < 100; ++i) {
+    Q1Spec spec = gen.GenerateQ1(2, 1, /*want_empty=*/true);
+    PhysOpPtr phys = env.Prepare(spec.ToSql());
+    auto result = Executor::Run(phys);
+    if (!result.ok() || !result->rows.empty()) return 1;
+    detector.RecordEmpty(phys);
+    mv.RecordEmpty(env.Plan(spec.ToSql()));
+    observed.push_back(std::move(spec));
+  }
+
+  struct Family {
+    const char* name;
+    size_t ours = 0, baseline = 0, total = 0;
+  };
+  Family families[] = {{"exact repeat"},
+                       {"narrowed (subset of disjuncts)"},
+                       {"changed projection"},
+                       {"superset join (add customer)"}};
+
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const Q1Spec& spec = observed[i];
+    std::string date = DateToString(spec.dates[0]);
+    std::string part = std::to_string(spec.parts[0]);
+    std::string probes[4];
+    probes[0] = spec.ToSql();
+    {
+      Q1Spec narrowed;
+      narrowed.dates = {spec.dates[1 % spec.dates.size()]};
+      narrowed.parts = {spec.parts[0]};
+      probes[1] = narrowed.ToSql();
+    }
+    probes[2] = "select l.partkey from orders o, lineitem l "
+                "where o.orderkey = l.orderkey and o.orderdate = DATE '" +
+                date + "' and l.partkey = " + part;
+    probes[3] = "select * from orders o, lineitem l, customer c "
+                "where o.orderkey = l.orderkey and o.custkey = c.custkey "
+                "and o.orderdate = DATE '" + date +
+                "' and l.partkey = " + part;
+    for (int f = 0; f < 4; ++f) {
+      LogicalOpPtr plan = env.Plan(probes[f]);
+      ++families[f].total;
+      if (detector.CheckEmpty(plan).provably_empty) ++families[f].ours;
+      if (mv.CheckEmpty(plan)) ++families[f].baseline;
+    }
+  }
+
+  std::printf("%-34s %14s %14s\n", "probe family", "C_aqp hit%", "MV hit%");
+  for (const Family& f : families) {
+    std::printf("%-34s %13.1f%% %13.1f%%\n", f.name,
+                100.0 * f.ours / f.total, 100.0 * f.baseline / f.total);
+  }
+  std::printf("\nstored state: %zu atomic parts vs %zu whole-query views\n",
+              detector.cache().size(), mv.size());
+  std::printf("paper §2.6: our method's coverage detection is strictly "
+              "more capable on families 2-4; MV matches only exact "
+              "repeats.\n");
+  return 0;
+}

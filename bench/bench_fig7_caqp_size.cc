@@ -1,0 +1,150 @@
+// Figure 7 (§3.1, "C_aqp size experiment"): overhead of the techniques as
+// a function of N, the number of atomic query parts already stored, with
+// F = 2 and s = 2 fixed. Four series, as in the paper:
+//   Q1 / check succeeds, Q1 / check fails,
+//   Q2 / check succeeds, Q2 / check fails.
+// "Check fails" includes the second C_aqp pass that stores the new empty
+// query's parts, so its overhead is roughly twice the success case.
+// Reported numbers are the MAX over 20 runs (paper's discipline).
+
+#include "bench_common.h"
+
+using namespace erq;
+using namespace erq::bench;
+
+namespace {
+
+constexpr size_t kRuns = 20;
+
+/// One Figure-7 cell for Q1.
+double MeasureQ1(const Environment& env, size_t n, bool succeed,
+                 uint64_t seed) {
+  EmptyResultConfig config;
+  EmptyResultDetector detector(config);
+  PrefilledQ1 filled = PrefillQ1(env, &detector, n, 2, 1, seed);
+  QueryGenerator fresh(&env.instance, seed + 991);
+
+  // Pre-plan the probe queries (planning is not part of the measured
+  // overhead; the paper measures its techniques, not the parser).
+  std::vector<LogicalOpPtr> plans;
+  std::vector<PhysOpPtr> executed;  // for the "fails + record" leg
+  for (size_t i = 0; i < kRuns; ++i) {
+    if (succeed) {
+      const Q1Spec& spec = filled.specs[(i * 7919) % filled.specs.size()];
+      plans.push_back(env.Plan(spec.ToSql()));
+    } else {
+      Q1Spec spec = fresh.GenerateQ1(2, 1, /*want_empty=*/true);
+      plans.push_back(env.Plan(spec.ToSql()));
+      PhysOpPtr phys = env.Prepare(spec.ToSql());
+      auto result = Executor::Run(phys);
+      if (!result.ok() || !result->rows.empty()) std::abort();
+      executed.push_back(phys);
+    }
+  }
+
+  // Warm-up pass (not measured; CheckEmpty is side-effect free).
+  for (size_t i = 0; i < kRuns; ++i) detector.CheckEmpty(plans[i]);
+  if (succeed) {
+    return MaxSeconds(
+        kRuns,
+        [&](size_t i) {
+          if (!detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+  }
+  // Check fails: per query, the robust check cost plus the (one-shot)
+  // harvest of the executed empty query — the second C_aqp pass the paper
+  // describes (Operation O2).
+  double worst = 0.0;
+  for (size_t i = 0; i < kRuns; ++i) {
+    double check_cost = MaxSeconds(
+        1,
+        [&](size_t) {
+          if (detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+    auto start = std::chrono::steady_clock::now();
+    detector.RecordEmpty(executed[i]);
+    double record_cost = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    worst = std::max(worst, check_cost + record_cost);
+  }
+  return worst;
+}
+
+double MeasureQ2(const Environment& env, size_t n, bool succeed,
+                 uint64_t seed) {
+  EmptyResultConfig config;
+  EmptyResultDetector detector(config);
+  PrefilledQ2 filled = PrefillQ2(env, &detector, n, 2, 1, 1, seed);
+  QueryGenerator fresh(&env.instance, seed + 991);
+
+  std::vector<LogicalOpPtr> plans;
+  std::vector<PhysOpPtr> executed;
+  for (size_t i = 0; i < kRuns; ++i) {
+    if (succeed) {
+      const Q2Spec& spec = filled.specs[(i * 7919) % filled.specs.size()];
+      plans.push_back(env.Plan(spec.ToSql()));
+    } else {
+      Q2Spec spec = fresh.GenerateQ2(2, 1, 1, /*want_empty=*/true);
+      plans.push_back(env.Plan(spec.ToSql()));
+      PhysOpPtr phys = env.Prepare(spec.ToSql());
+      auto result = Executor::Run(phys);
+      if (!result.ok() || !result->rows.empty()) std::abort();
+      executed.push_back(phys);
+    }
+  }
+
+  // Warm-up pass (not measured; CheckEmpty is side-effect free).
+  for (size_t i = 0; i < kRuns; ++i) detector.CheckEmpty(plans[i]);
+  if (succeed) {
+    return MaxSeconds(
+        kRuns,
+        [&](size_t i) {
+          if (!detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+  }
+  // Check fails: per query, the robust check cost plus the (one-shot)
+  // harvest of the executed empty query — the second C_aqp pass the paper
+  // describes (Operation O2).
+  double worst = 0.0;
+  for (size_t i = 0; i < kRuns; ++i) {
+    double check_cost = MaxSeconds(
+        1,
+        [&](size_t) {
+          if (detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+    auto start = std::chrono::steady_clock::now();
+    detector.RecordEmpty(executed[i]);
+    double record_cost = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    worst = std::max(worst, check_cost + record_cost);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7 — C_aqp size experiment (F=2, s=2)",
+              "overhead (max over 20 runs, microseconds) vs N; paper "
+              "shape: grows ~linearly with N; fail ~ 2x succeed; Q2 > Q1");
+
+  Environment env = Environment::Build(2.0);
+  std::printf("%8s %22s %22s %22s %22s\n", "N", "Q1 check-succeeds(us)",
+              "Q1 check-fails(us)", "Q2 check-succeeds(us)",
+              "Q2 check-fails(us)");
+  for (size_t n : {1000, 1500, 2000, 2500, 3000}) {
+    double q1s = MeasureQ1(env, n, /*succeed=*/true, 7 + n);
+    double q1f = MeasureQ1(env, n, /*succeed=*/false, 11 + n);
+    double q2s = MeasureQ2(env, n, /*succeed=*/true, 13 + n);
+    double q2f = MeasureQ2(env, n, /*succeed=*/false, 17 + n);
+    std::printf("%8zu %22.1f %22.1f %22.1f %22.1f\n", n, q1s * 1e6,
+                q1f * 1e6, q2s * 1e6, q2f * 1e6);
+  }
+  return 0;
+}

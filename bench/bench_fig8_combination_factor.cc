@@ -1,0 +1,157 @@
+// Figure 8 (§3.1, "query combination factor experiment"): overhead of the
+// techniques as the combination factor F — the number of atomic query
+// parts a query generates — grows from 1 to 8, with s = 2 and N = 2000
+// fixed. Paper shape: overhead grows with F for all four series.
+
+#include "bench_common.h"
+
+using namespace erq;
+using namespace erq::bench;
+
+namespace {
+
+constexpr size_t kRuns = 20;
+
+struct Shape {
+  size_t e, f;  // Q1 disjunct sizes, F = e * f
+};
+
+double MeasureQ1(const Environment& env, const Shape& shape, bool succeed,
+                 uint64_t seed) {
+  EmptyResultConfig config;
+  EmptyResultDetector detector(config);
+  PrefilledQ1 filled =
+      PrefillQ1(env, &detector, 2000, shape.e, shape.f, seed);
+  QueryGenerator fresh(&env.instance, seed + 37);
+
+  std::vector<LogicalOpPtr> plans;
+  std::vector<PhysOpPtr> executed;
+  for (size_t i = 0; i < kRuns; ++i) {
+    if (succeed) {
+      plans.push_back(env.Plan(filled.specs[(i * 7919) % filled.specs.size()].ToSql()));
+    } else {
+      Q1Spec spec = fresh.GenerateQ1(shape.e, shape.f, /*want_empty=*/true);
+      plans.push_back(env.Plan(spec.ToSql()));
+      PhysOpPtr phys = env.Prepare(spec.ToSql());
+      auto result = Executor::Run(phys);
+      if (!result.ok() || !result->rows.empty()) std::abort();
+      executed.push_back(phys);
+    }
+  }
+  // Warm-up pass (not measured; CheckEmpty is side-effect free).
+  for (size_t i = 0; i < kRuns; ++i) detector.CheckEmpty(plans[i]);
+  if (succeed) {
+    return MaxSeconds(
+        kRuns,
+        [&](size_t i) {
+          if (!detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+  }
+  // Check fails: per query, the robust check cost plus the (one-shot)
+  // harvest of the executed empty query — the second C_aqp pass the paper
+  // describes (Operation O2).
+  double worst = 0.0;
+  for (size_t i = 0; i < kRuns; ++i) {
+    double check_cost = MaxSeconds(
+        1,
+        [&](size_t) {
+          if (detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+    auto start = std::chrono::steady_clock::now();
+    detector.RecordEmpty(executed[i]);
+    double record_cost = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    worst = std::max(worst, check_cost + record_cost);
+  }
+  return worst;
+}
+
+struct Shape2 {
+  size_t e, f, g;  // Q2, F = e * f * g
+};
+
+double MeasureQ2(const Environment& env, const Shape2& shape, bool succeed,
+                 uint64_t seed) {
+  EmptyResultConfig config;
+  EmptyResultDetector detector(config);
+  PrefilledQ2 filled =
+      PrefillQ2(env, &detector, 2000, shape.e, shape.f, shape.g, seed);
+  QueryGenerator fresh(&env.instance, seed + 41);
+
+  std::vector<LogicalOpPtr> plans;
+  std::vector<PhysOpPtr> executed;
+  for (size_t i = 0; i < kRuns; ++i) {
+    if (succeed) {
+      plans.push_back(env.Plan(filled.specs[(i * 7919) % filled.specs.size()].ToSql()));
+    } else {
+      Q2Spec spec =
+          fresh.GenerateQ2(shape.e, shape.f, shape.g, /*want_empty=*/true);
+      plans.push_back(env.Plan(spec.ToSql()));
+      PhysOpPtr phys = env.Prepare(spec.ToSql());
+      auto result = Executor::Run(phys);
+      if (!result.ok() || !result->rows.empty()) std::abort();
+      executed.push_back(phys);
+    }
+  }
+  // Warm-up pass (not measured; CheckEmpty is side-effect free).
+  for (size_t i = 0; i < kRuns; ++i) detector.CheckEmpty(plans[i]);
+  if (succeed) {
+    return MaxSeconds(
+        kRuns,
+        [&](size_t i) {
+          if (!detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+  }
+  // Check fails: per query, the robust check cost plus the (one-shot)
+  // harvest of the executed empty query — the second C_aqp pass the paper
+  // describes (Operation O2).
+  double worst = 0.0;
+  for (size_t i = 0; i < kRuns; ++i) {
+    double check_cost = MaxSeconds(
+        1,
+        [&](size_t) {
+          if (detector.CheckEmpty(plans[i]).provably_empty) std::abort();
+        },
+        /*repeats=*/3);
+    auto start = std::chrono::steady_clock::now();
+    detector.RecordEmpty(executed[i]);
+    double record_cost = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    worst = std::max(worst, check_cost + record_cost);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 8 — query combination factor experiment (s=2, N=2000)",
+              "overhead (max over 20 runs, microseconds) vs F = #atomic "
+              "parts per query; paper shape: overhead increases with F");
+
+  const Shape q1_shapes[] = {{1, 1}, {2, 1}, {2, 2}, {4, 2}};
+  const Shape2 q2_shapes[] = {{1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}};
+
+  std::printf("%8s %22s %22s %22s %22s\n", "F", "Q1 check-succeeds(us)",
+              "Q1 check-fails(us)", "Q2 check-succeeds(us)",
+              "Q2 check-fails(us)");
+  for (int i = 0; i < 4; ++i) {
+    size_t factor = q1_shapes[i].e * q1_shapes[i].f;
+    double q1s = MeasureQ1(Environment::Build(2.0, 42), q1_shapes[i], true,
+                           100 + i);
+    double q1f = MeasureQ1(Environment::Build(2.0, 42), q1_shapes[i], false,
+                           200 + i);
+    double q2s = MeasureQ2(Environment::Build(2.0, 42), q2_shapes[i], true,
+                           300 + i);
+    double q2f = MeasureQ2(Environment::Build(2.0, 42), q2_shapes[i], false,
+                           400 + i);
+    std::printf("%8zu %22.1f %22.1f %22.1f %22.1f\n", factor, q1s * 1e6,
+                q1f * 1e6, q2s * 1e6, q2f * 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 1 (§3.1): the test data set — row counts and sizes per scale
+// factor. The paper's absolute cardinalities (0.15s M / 1.5s M / 6s M) are
+// scaled down by the configurable rows-per-scale-unit (default 100x
+// smaller); the 1 : 10 : 40 row ratios and the match ratios (one customer
+// ~ 10 orders on custkey, one order ~ 4 lineitems on orderkey) are
+// preserved exactly.
+
+#include "bench_common.h"
+
+using namespace erq;
+using namespace erq::bench;
+
+int main() {
+  PrintHeader("Table 1 — test data set",
+              "paper: customer 0.15sM/23sMB, orders 1.5sM/114sMB, "
+              "lineitem 6sM/755sMB (ours: 100x scaled down, same ratios)");
+
+  std::printf("%5s %12s %12s %12s %12s %12s %12s\n", "s", "cust rows",
+              "cust MB", "orders rows", "orders MB", "lineitem rows",
+              "lineitem MB");
+  for (double s : {1.0, 2.0, 3.0}) {
+    Environment env = Environment::Build(s);
+    DatasetSummary summary = SummarizeDataset(env.instance);
+    std::printf("%5.0f %12zu %12.2f %12zu %12.2f %12zu %12.2f\n", s,
+                summary.customer_rows,
+                summary.customer_bytes / 1048576.0, summary.orders_rows,
+                summary.orders_bytes / 1048576.0, summary.lineitem_rows,
+                summary.lineitem_bytes / 1048576.0);
+  }
+
+  // Verify the paper's match ratios on the s=1 instance.
+  Environment env = Environment::Build(1.0);
+  double orders_per_customer =
+      static_cast<double>(env.instance.orders->num_rows()) /
+      static_cast<double>(env.instance.customer->num_rows());
+  double lineitems_per_order =
+      static_cast<double>(env.instance.lineitem->num_rows()) /
+      static_cast<double>(env.instance.orders->num_rows());
+  std::printf("\nmatch ratios: %.1f orders/customer (paper: 10), "
+              "%.1f lineitems/order (paper: 4)\n",
+              orders_per_customer, lineitems_per_order);
+  return 0;
+}

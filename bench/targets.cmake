@@ -1,0 +1,13 @@
+# Included from the top-level CMakeLists so the benchmark binaries land in
+# <build>/bench/ with nothing else in that directory (the documented run
+# command is `for b in build/bench/*; do $b; done`).
+file(GLOB ERQ_BENCH_SOURCES CONFIGURE_DEPENDS
+     "${PROJECT_SOURCE_DIR}/bench/bench_*.cc")
+
+foreach(src ${ERQ_BENCH_SOURCES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src})
+  target_link_libraries(${name} PRIVATE erq benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+endforeach()

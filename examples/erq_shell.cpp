@@ -1,0 +1,209 @@
+// An interactive SQL shell over a TPC-R-style database with the
+// empty-result detection workflow wired in. Useful for poking at the
+// system by hand:
+//
+//   $ ./example_erq_shell
+//   erq> select * from orders o, lineitem l where o.orderkey = l.orderkey
+//        and o.orderdate = DATE '1995-03-07' and l.partkey = 5;
+//   (empty result, executed; 4 atomic parts harvested)
+//   erq> \cache            -- show C_aqp contents
+//   erq> \explain          -- explain the last empty result (Operation O1)
+//   erq> \save /tmp/caqp   -- persist the cache
+//   erq> \stats            -- manager counters
+//
+// Reads from stdin; pipe a script for non-interactive use.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/explain.h"
+#include "core/manager.h"
+#include "core/serialize.h"
+#include "workload/tpcr.h"
+
+using namespace erq;
+
+namespace {
+
+void PrintRows(const ExecutionResult& result, size_t limit = 20) {
+  for (size_t c = 0; c < result.layout.size(); ++c) {
+    std::printf("%s%s", c > 0 ? " | " : "",
+                result.layout.column(c).column.c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < result.rows.size() && r < limit; ++r) {
+    for (size_t c = 0; c < result.rows[r].size(); ++c) {
+      std::printf("%s%s", c > 0 ? " | " : "",
+                  result.rows[r][c].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (result.rows.size() > limit) {
+    std::printf("... (%zu rows total)\n", result.rows.size());
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  <sql>;            run a query through the manager\n"
+      "  \\cache            list stored atomic query parts\n"
+      "  \\explain          explain the last empty result (Operation O1)\n"
+      "  \\plan             show the last executed plan\n"
+      "  \\stats            manager / cache counters\n"
+      "  \\save <path>      serialize C_aqp to a file\n"
+      "  \\load <path>      load C_aqp from a file\n"
+      "  \\tables           list tables\n"
+      "  \\help             this text\n"
+      "  \\quit             exit\n");
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  TpcrConfig config;
+  config.customers_per_unit = 500;
+  auto instance = BuildTpcr(&catalog, config);
+  if (!instance.ok()) return 1;
+  if (!BuildTpcrIndexes(&catalog).ok()) return 1;
+  StatsCatalog stats;
+  if (!stats.AnalyzeAll(catalog).ok()) return 1;
+
+  EmptyResultConfig erc;
+  erc.c_cost = 0.0;
+  erc.invalidation = InvalidationMode::kFilterIrrelevant;
+  EmptyResultManager manager(&catalog, &stats, erc);
+
+  std::printf("erq shell — TPC-R-style database loaded "
+              "(customer=%zu orders=%zu lineitem=%zu)\n",
+              instance->customer->num_rows(), instance->orders->num_rows(),
+              instance->lineitem->num_rows());
+  PrintHelp();
+
+  PhysOpPtr last_plan;
+  std::string buffer;
+  std::string line;
+  std::printf("erq> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '\\') {
+      std::istringstream in(line);
+      std::string cmd, arg;
+      in >> cmd >> arg;
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\help") {
+        PrintHelp();
+      } else if (cmd == "\\tables") {
+        for (const std::string& name : catalog.TableNames()) {
+          auto table = catalog.GetTable(name);
+          std::printf("  %s (%zu rows): %s\n", name.c_str(),
+                      (*table)->num_rows(),
+                      (*table)->schema().ToString().c_str());
+        }
+      } else if (cmd == "\\cache") {
+        const CaqpCache& cache = manager.detector().cache();
+        std::printf("%zu stored atomic query part(s):\n", cache.size());
+        size_t shown = 0;
+        for (const AtomicQueryPart& part : cache.Snapshot()) {
+          std::printf("  %s\n", part.ToString().c_str());
+          if (++shown >= 50) {
+            std::printf("  ... (%zu total)\n", cache.size());
+            break;
+          }
+        }
+      } else if (cmd == "\\stats") {
+        const ManagerStats& ms = manager.stats();
+        const CaqpCache::CacheStats& cs = manager.detector().cache().stats();
+        std::printf("queries=%llu executed=%llu detected_empty=%llu "
+                    "empty_results=%llu\n",
+                    (unsigned long long)ms.queries,
+                    (unsigned long long)ms.executed,
+                    (unsigned long long)ms.detected_empty,
+                    (unsigned long long)ms.empty_results);
+        std::printf("cache: size=%zu lookups=%llu hits=%llu inserted=%llu "
+                    "evictions=%llu\n",
+                    manager.detector().cache().size(),
+                    (unsigned long long)cs.lookups,
+                    (unsigned long long)cs.hits,
+                    (unsigned long long)cs.inserted,
+                    (unsigned long long)cs.evictions);
+      } else if (cmd == "\\plan") {
+        std::printf("%s", last_plan != nullptr
+                              ? last_plan->ToString().c_str()
+                              : "no query executed yet\n");
+      } else if (cmd == "\\explain") {
+        if (last_plan == nullptr) {
+          std::printf("no query executed yet\n");
+        } else {
+          auto explanation = ExplainEmptyResult(last_plan);
+          std::printf("%s", explanation.ok()
+                                ? explanation->ToString().c_str()
+                                : (explanation.status().ToString() + "\n")
+                                      .c_str());
+        }
+      } else if (cmd == "\\save") {
+        std::ofstream out(arg);
+        size_t skipped = 0;
+        out << SerializeCache(manager.detector().cache(), &skipped);
+        std::printf("saved %zu part(s) to %s (%zu opaque skipped)\n",
+                    manager.detector().cache().size() - skipped, arg.c_str(),
+                    skipped);
+      } else if (cmd == "\\load") {
+        std::ifstream in(arg);
+        std::stringstream contents;
+        contents << in.rdbuf();
+        auto n = DeserializeInto(contents.str(),
+                                 &manager.detector().cache());
+        std::printf("%s\n", n.ok() ? ("loaded " + std::to_string(*n) +
+                                      " part(s)")
+                                         .c_str()
+                                   : n.status().ToString().c_str());
+      } else {
+        std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+      }
+      std::printf("erq> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    buffer += line;
+    if (buffer.find(';') == std::string::npos) {
+      buffer += ' ';
+      continue;  // statement continues on the next line
+    }
+    std::string sql = buffer;
+    buffer.clear();
+
+    auto outcome = manager.Query(sql);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+    } else if (outcome->detected_empty) {
+      std::printf("(empty result — detected from C_aqp in %.1f us, "
+                  "execution skipped)\n",
+                  outcome->check_seconds * 1e6);
+    } else {
+      if (outcome->result_empty) {
+        std::printf("(empty result, executed in %.2f ms; %zu atomic "
+                    "part(s) harvested)\n",
+                    outcome->execute_seconds * 1e3, outcome->aqps_recorded);
+      } else {
+        PrintRows(outcome->result);
+        std::printf("(%zu row(s) in %.2f ms)\n", outcome->result_rows,
+                    outcome->execute_seconds * 1e3);
+      }
+      auto plan = manager.Prepare(sql);
+      if (plan.ok()) {
+        // Re-run to refresh actuals on a plan object the shell keeps.
+        if (Executor::Run(*plan).ok()) last_plan = *plan;
+      }
+    }
+    std::printf("erq> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "analysis/detection_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erq {
+
+double Case1DetectionProbability(double p, int m) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::pow(p, m);
+}
+
+double Case2UnboundedDetectionProbability(int n, double N) {
+  double per = std::pow(0.5, n);
+  return 1.0 - std::pow(1.0 - per, N);
+}
+
+double Case2BoundedDetectionProbability(int n, double N) {
+  double per = std::pow(1.0 / 6.0, n);
+  return 1.0 - std::pow(1.0 - per, N);
+}
+
+double Case2UnboundedExactDetectionProbability(int n, double N) {
+  if (n == 1) return N / (N + 1.0);
+  // E[(1-u)^N] with u = prod of n uniforms, density (-ln u)^{n-1}/(n-1)!.
+  // Substitute u = e^{-t}, t in (0, inf): integral becomes
+  //   \int_0^inf (1 - e^{-t})^N t^{n-1} e^{-t} / (n-1)! dt,
+  // evaluated with composite Simpson on t in (0, T] with T large enough
+  // that the Gamma tail is negligible.
+  double log_fact = 0.0;
+  for (int i = 2; i < n; ++i) log_fact += std::log(static_cast<double>(i));
+  const double T = 60.0 + 4.0 * n;
+  const int steps = 20000;  // even
+  const double h = T / steps;
+  auto f = [&](double t) {
+    if (t <= 0.0) return 0.0;
+    double log_term = N * std::log1p(-std::exp(-t)) +
+                      (n - 1) * std::log(t) - t - log_fact;
+    return std::exp(log_term);
+  };
+  double sum = f(0.0) + f(T);
+  for (int i = 1; i < steps; ++i) {
+    sum += f(i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  double expectation = sum * h / 3.0;
+  return 1.0 - std::clamp(expectation, 0.0, 1.0);
+}
+
+double Case3DetectionProbability(double q, int m, double N) {
+  q = std::clamp(q, 0.0, 1.0);
+  double term_covered = 1.0 - std::pow(1.0 - q, N);
+  return std::pow(term_covered, m);
+}
+
+}  // namespace erq

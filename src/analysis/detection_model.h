@@ -1,0 +1,39 @@
+#ifndef ERQ_ANALYSIS_DETECTION_MODEL_H_
+#define ERQ_ANALYSIS_DETECTION_MODEL_H_
+
+namespace erq {
+
+/// Closed-form detection probabilities of §3.2. D_p is the probability
+/// that the method detects an empty-result query without executing it,
+/// given the stored state of C_aqp.
+
+/// Case 1 (point-based comparisons): the selection condition is a
+/// disjunction of m terms, each an n-conjunction of point predicates; a
+/// fraction p = N/K of the empty n-tuples is stored. D_p = p^m.
+double Case1DetectionProbability(double p, int m);
+
+/// Case 2 (unbounded-interval comparisons, n primitive terms, N stored
+/// conditions with uniform endpoints): D_p = 1 - (1 - 2^-n)^N.
+double Case2UnboundedDetectionProbability(int n, double N);
+
+/// Case 2 variant with bounded intervals c_i < a < d_i:
+/// D_p = 1 - (1 - 6^-n)^N.
+double Case2BoundedDetectionProbability(int n, double N);
+
+/// Exact Case-2 detection probability. The paper's 1-(1-2^-n)^N treats the
+/// N "stored condition covers the query" events as independent; they are
+/// only conditionally independent given the query endpoints, so the paper's
+/// closed form is an upper bound (Jensen: (1-x)^N is convex). The exact
+/// value is D_p = 1 - E[(1 - prod_i c_i)^N] with c_i ~ U(0,1), evaluated
+/// here by Gauss-Legendre quadrature over the product's distribution:
+/// f_n(u) = (-ln u)^{n-1} / (n-1)!.
+/// For n = 1 this reduces to N / (N + 1).
+double Case2UnboundedExactDetectionProbability(int n, double N);
+
+/// Case 3 (mixed, per-term coverage probability q, m disjuncts, N stored
+/// parts): D_p = (1 - (1-q)^N)^m.
+double Case3DetectionProbability(double q, int m, double N);
+
+}  // namespace erq
+
+#endif  // ERQ_ANALYSIS_DETECTION_MODEL_H_

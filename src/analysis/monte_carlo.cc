@@ -1,0 +1,125 @@
+#include "analysis/monte_carlo.h"
+
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+namespace erq {
+
+double SimulateCase1(size_t K, size_t N, int m, size_t trials, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  if (N > K) N = K;
+  std::uniform_int_distribution<size_t> tuple_dist(0, K - 1);
+  size_t detected = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    // Store a fresh random subset of size N each trial (the identity of
+    // the stored tuples is part of the random state).
+    std::unordered_set<size_t> stored;
+    while (stored.size() < N) stored.insert(tuple_dist(rng));
+    bool all_found = true;
+    for (int i = 0; i < m; ++i) {
+      if (stored.count(tuple_dist(rng)) == 0) {
+        all_found = false;
+        break;
+      }
+    }
+    if (all_found) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+double SimulateCase2Unbounded(int n, size_t N, size_t trials, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  size_t detected = 0;
+  std::vector<double> query(n);
+  std::vector<std::vector<double>> stored(N, std::vector<double>(n));
+  for (size_t t = 0; t < trials; ++t) {
+    for (auto& cond : stored) {
+      for (double& c : cond) c = u(rng);
+    }
+    for (double& c : query) c = u(rng);
+    bool covered = false;
+    for (const auto& cond : stored) {
+      bool dominates = true;
+      for (int i = 0; i < n; ++i) {
+        // Stored "c' < a" covers query "c < a" iff c' <= c.
+        if (cond[i] > query[i]) {
+          dominates = false;
+          break;
+        }
+      }
+      if (dominates) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+double SimulateCase2Bounded(int n, size_t N, size_t trials, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  auto draw_interval = [&](double* lo, double* hi) {
+    double a = u(rng), b = u(rng);
+    if (a > b) std::swap(a, b);
+    *lo = a;
+    *hi = b;
+  };
+  size_t detected = 0;
+  std::vector<std::pair<double, double>> query(n);
+  std::vector<std::vector<std::pair<double, double>>> stored(
+      N, std::vector<std::pair<double, double>>(n));
+  for (size_t t = 0; t < trials; ++t) {
+    for (auto& cond : stored) {
+      for (auto& iv : cond) draw_interval(&iv.first, &iv.second);
+    }
+    for (auto& iv : query) draw_interval(&iv.first, &iv.second);
+    bool covered = false;
+    for (const auto& cond : stored) {
+      bool contains = true;
+      for (int i = 0; i < n; ++i) {
+        // Stored (c', d') covers query (c, d) iff c' <= c and d <= d'.
+        if (cond[i].first > query[i].first ||
+            cond[i].second < query[i].second) {
+          contains = false;
+          break;
+        }
+      }
+      if (contains) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+double SimulateCase3(double q, int m, size_t N, size_t trials, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution covers(q);
+  size_t detected = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    bool all_terms = true;
+    for (int term = 0; term < m; ++term) {
+      bool term_covered = false;
+      for (size_t part = 0; part < N; ++part) {
+        if (covers(rng)) {
+          term_covered = true;
+          break;
+        }
+      }
+      if (!term_covered) {
+        all_terms = false;
+        break;
+      }
+    }
+    if (all_terms) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+}  // namespace erq

@@ -1,0 +1,32 @@
+#ifndef ERQ_ANALYSIS_MONTE_CARLO_H_
+#define ERQ_ANALYSIS_MONTE_CARLO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace erq {
+
+/// Monte-Carlo cross-validation of the §3.2 closed forms. Each simulator
+/// draws stored-cache states and empty queries from the model's stated
+/// distributions and reports the empirical detection rate. Figures 10–12
+/// print analytic and simulated values side by side.
+
+/// Case 1: K empty n-tuples exist; N distinct ones are stored; a query has
+/// m disjuncts, each an independent uniform draw from the K tuples.
+double SimulateCase1(size_t K, size_t N, int m, size_t trials, uint64_t seed);
+
+/// Case 2 (unbounded): N stored conditions with n uniform endpoints; query
+/// covered iff some stored condition dominates it component-wise.
+double SimulateCase2Unbounded(int n, size_t N, size_t trials, uint64_t seed);
+
+/// Case 2 (bounded): intervals (c_i, d_i) with c_i < d_i (rejection
+/// sampled); query covered iff some stored interval vector contains it.
+double SimulateCase2Bounded(int n, size_t N, size_t trials, uint64_t seed);
+
+/// Case 3: per-(term, stored-part) coverage is Bernoulli(q) independent;
+/// the query needs every one of its m terms covered by some stored part.
+double SimulateCase3(double q, int m, size_t N, size_t trials, uint64_t seed);
+
+}  // namespace erq
+
+#endif  // ERQ_ANALYSIS_MONTE_CARLO_H_

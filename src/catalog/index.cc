@@ -1,0 +1,62 @@
+#include "catalog/index.h"
+
+#include <algorithm>
+
+namespace erq {
+
+SortedIndex::SortedIndex(const Table* table, size_t column_index,
+                         std::string name)
+    : table_(table), column_index_(column_index), name_(std::move(name)) {
+  Refresh();
+}
+
+void SortedIndex::Refresh() {
+  if (built_version_ == table_->version()) return;
+  entries_.clear();
+  entries_.reserve(table_->num_rows());
+  for (size_t i = 0; i < table_->num_rows(); ++i) {
+    const Value& v = table_->row(i)[column_index_];
+    if (v.is_null()) continue;
+    entries_.push_back(Entry{v, i});
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  built_version_ = table_->version();
+}
+
+std::vector<size_t> SortedIndex::RangeLookup(const Bound& lo,
+                                             const Bound& hi) const {
+  auto begin = entries_.begin();
+  auto end = entries_.end();
+  if (lo.value.has_value()) {
+    if (lo.inclusive) {
+      begin = std::lower_bound(
+          entries_.begin(), entries_.end(), *lo.value,
+          [](const Entry& e, const Value& v) { return e.key < v; });
+    } else {
+      begin = std::upper_bound(
+          entries_.begin(), entries_.end(), *lo.value,
+          [](const Value& v, const Entry& e) { return v < e.key; });
+    }
+  }
+  if (hi.value.has_value()) {
+    if (hi.inclusive) {
+      end = std::upper_bound(
+          entries_.begin(), entries_.end(), *hi.value,
+          [](const Value& v, const Entry& e) { return v < e.key; });
+    } else {
+      end = std::lower_bound(
+          entries_.begin(), entries_.end(), *hi.value,
+          [](const Entry& e, const Value& v) { return e.key < v; });
+    }
+  }
+  std::vector<size_t> out;
+  for (auto it = begin; it < end; ++it) out.push_back(it->row_id);
+  return out;
+}
+
+std::vector<size_t> SortedIndex::EqualLookup(const Value& v) const {
+  return RangeLookup(Bound::Inclusive(v), Bound::Inclusive(v));
+}
+
+}  // namespace erq

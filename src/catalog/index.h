@@ -1,0 +1,62 @@
+#ifndef ERQ_CATALOG_INDEX_H_
+#define ERQ_CATALOG_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "catalog/table.h"
+
+namespace erq {
+
+/// One endpoint of a value interval. An absent value means ±infinity.
+struct Bound {
+  std::optional<Value> value;  // nullopt = unbounded
+  bool inclusive = true;
+
+  static Bound Unbounded() { return Bound{std::nullopt, true}; }
+  static Bound Inclusive(Value v) { return Bound{std::move(v), true}; }
+  static Bound Exclusive(Value v) { return Bound{std::move(v), false}; }
+};
+
+/// A secondary sorted index over one column of a table: the standalone
+/// equivalent of the B-tree indexes the paper builds on every selection and
+/// join attribute. Rebuilt on demand when the base table version changes.
+class SortedIndex {
+ public:
+  SortedIndex(const Table* table, size_t column_index, std::string name);
+
+  const std::string& name() const { return name_; }
+  size_t column_index() const { return column_index_; }
+  const Table* table() const { return table_; }
+
+  /// Rebuilds the sorted entries if the base table changed.
+  void Refresh();
+
+  /// Returns row ids whose key lies in [lo, hi] per bounds. NULL keys are
+  /// never returned (SQL comparison semantics).
+  std::vector<size_t> RangeLookup(const Bound& lo, const Bound& hi) const;
+
+  /// Row ids with key exactly `v`.
+  std::vector<size_t> EqualLookup(const Value& v) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Value key;
+    size_t row_id;
+  };
+
+  const Table* table_;
+  size_t column_index_;
+  std::string name_;
+  std::vector<Entry> entries_;  // sorted by key
+  uint64_t built_version_ = ~0ULL;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CATALOG_INDEX_H_

@@ -1,0 +1,45 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+
+namespace erq {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema '" +
+        name_ + "' with " + std::to_string(schema_.num_columns()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name + "' of table '" +
+          name_ + "': got " + DataTypeToString(row[i].type()) + ", want " +
+          DataTypeToString(schema_.column(i).type));
+    }
+  }
+  rows_.push_back(std::move(row));
+  ++version_;
+  return Status::OK();
+}
+
+size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
+  size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(), pred), rows_.end());
+  ++version_;
+  return before - rows_.size();
+}
+
+size_t Table::EstimatedBytes() const {
+  size_t bytes = 0;
+  for (const Row& r : rows_) {
+    bytes += sizeof(Row) + r.size() * sizeof(Value);
+    for (const Value& v : r) {
+      if (v.type() == DataType::kString) bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace erq

@@ -1,0 +1,71 @@
+#ifndef ERQ_CATALOG_TABLE_H_
+#define ERQ_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace erq {
+
+/// An in-memory row-store relation. Append-only between invalidation
+/// points; every mutation bumps `version()` so dependent structures
+/// (statistics, the C_aqp cache) can detect staleness.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends one row; the row must match the schema arity and each value's
+  /// type must equal the column type (or be NULL).
+  Status Append(Row row);
+
+  /// Appends without validation; used by bulk loaders that generate
+  /// known-good rows.
+  void AppendUnchecked(Row row) {
+    rows_.push_back(std::move(row));
+    ++version_;
+  }
+
+  /// Reserves capacity for bulk loads.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Removes rows matching `pred`; returns how many were removed.
+  size_t DeleteWhere(const std::function<bool(const Row&)>& pred);
+
+  /// Removes all rows.
+  void Clear() {
+    rows_.clear();
+    ++version_;
+  }
+
+  /// Monotone counter incremented on every mutation.
+  uint64_t version() const { return version_; }
+
+  /// Approximate in-memory footprint in bytes (for Table 1 style reports).
+  size_t EstimatedBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CATALOG_TABLE_H_

@@ -1,0 +1,114 @@
+#ifndef ERQ_COMMON_STATUS_H_
+#define ERQ_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace erq {
+
+/// Error categories used across the library. Mirrors the conventions of
+/// production storage engines: functions that can fail return a Status (or a
+/// StatusOr<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kNotSupported,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// message and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define ERQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::erq::Status _erq_status = (expr);      \
+    if (!_erq_status.ok()) return _erq_status; \
+  } while (false)
+
+/// Evaluates a StatusOr expression, assigning the value on success and
+/// returning the error otherwise. `lhs` must be a declaration or assignable.
+#define ERQ_ASSIGN_OR_RETURN(lhs, expr)              \
+  ERQ_ASSIGN_OR_RETURN_IMPL_(                        \
+      ERQ_STATUS_CONCAT_(_erq_statusor, __LINE__), lhs, expr)
+
+#define ERQ_STATUS_CONCAT_INNER_(a, b) a##b
+#define ERQ_STATUS_CONCAT_(a, b) ERQ_STATUS_CONCAT_INNER_(a, b)
+#define ERQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace erq
+
+#endif  // ERQ_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef ERQ_COMMON_STRING_UTIL_H_
+#define ERQ_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erq {
+
+/// Returns `s` converted to ASCII lowercase.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` converted to ASCII uppercase.
+std::string ToUpper(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace erq
+
+#endif  // ERQ_COMMON_STRING_UTIL_H_

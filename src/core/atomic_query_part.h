@@ -1,0 +1,89 @@
+#ifndef ERQ_CORE_ATOMIC_QUERY_PART_H_
+#define ERQ_CORE_ATOMIC_QUERY_PART_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/primitive.h"
+
+namespace erq {
+
+/// A sorted, deduplicated set of canonical relation names (lowercased;
+/// repeated occurrences of a table within one query part are renamed
+/// "name#2", "name#3", ... per §2.1).
+class RelationSet {
+ public:
+  RelationSet() = default;
+  explicit RelationSet(std::vector<std::string> names);
+
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  bool Contains(const std::string& name) const;
+
+  /// True if every relation here also appears in `other` (R_N ⊆ R_N').
+  bool IsSubsetOf(const RelationSet& other) const;
+
+  bool operator==(const RelationSet& other) const {
+    return names_ == other.names_;
+  }
+
+  /// Canonical key ("a,b,c") for hashing / entry lookup.
+  std::string Key() const;
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;  // sorted, unique, lowercase
+};
+
+/// The paper's central object (§2.1): an ordered pair
+/// (relation names R_N, selection condition S_C) denoting
+/// sigma_{S_C}( product of R_N ). The stored parts in C_aqp all have empty
+/// output on the current database.
+class AtomicQueryPart {
+ public:
+  AtomicQueryPart() = default;
+  AtomicQueryPart(RelationSet relations, Conjunction condition)
+      : relations_(std::move(relations)), condition_(std::move(condition)) {}
+
+  const RelationSet& relations() const { return relations_; }
+  const Conjunction& condition() const { return condition_; }
+
+  /// Theorem 2 premise: this covers other iff R_N ⊆ R_N' and S_C covers
+  /// S_C'. If the output of a covering part is empty, the covered part's
+  /// output is empty too.
+  ///
+  /// Extension beyond the paper (sound): occurrence remapping. Canonical
+  /// occurrence names ("a", "a#2", ...) are assigned per part, so a stored
+  /// part about occurrence "a" semantically applies to any occurrence of
+  /// the same base table in the query part. When the literal check fails
+  /// and the query part has repeated occurrences, a bounded number of
+  /// injective occurrence reassignments of this part's relations are tried
+  /// (renaming occurrences of the same base table preserves the part's
+  /// semantics, so any successful mapping is a valid Theorem-2 witness).
+  /// The paper accepts the capability loss instead (§2.1); we recover most
+  /// of it at negligible cost.
+  bool Covers(const AtomicQueryPart& other) const;
+
+  /// True when the condition can never hold (the part is empty on any
+  /// database — detectable without any stored information).
+  bool ProvablyUnsatisfiable() const { return condition_.unsatisfiable(); }
+
+  bool Equals(const AtomicQueryPart& other) const {
+    return relations_ == other.relations_ &&
+           condition_.Equals(other.condition_);
+  }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  RelationSet relations_;
+  Conjunction condition_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_ATOMIC_QUERY_PART_H_

@@ -1,0 +1,234 @@
+#include "core/caqp_cache.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace erq {
+
+bool CaqpCache::CoveredBy(const AtomicQueryPart& aqp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  RelationSignature query_sig = RelationSignature::Of(aqp.relations());
+  for (Entry& entry : entries_) {
+    if (entry.items.empty()) continue;
+    // Stored part covers `aqp` only if its relation set is a subset of
+    // aqp's (§2.4: "search in those entries of C_aqp whose relation names
+    // form a subset of the relation names of P_i").
+    if (enable_signatures_ && !entry.signature.MaybeSubsetOf(query_sig)) {
+      continue;
+    }
+    if (!entry.relations.IsSubsetOf(aqp.relations())) continue;
+    for (size_t slot : entry.items) {
+      Item& item = slots_[slot];
+      ++stats_.conditions_scanned;
+      if (item.aqp.Covers(aqp)) {
+        item.ref = true;
+        item.used_seq = ++seq_;
+        ++stats_.hits;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void CaqpCache::Insert(const AtomicQueryPart& aqp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.insert_attempts;
+  if (n_max_ == 0) return;
+  RelationSignature new_sig = RelationSignature::Of(aqp.relations());
+
+  // Keep only the most general parts. First: is the new part redundant?
+  for (Entry& entry : entries_) {
+    if (entry.items.empty()) continue;
+    if (enable_signatures_ && !entry.signature.MaybeSubsetOf(new_sig)) {
+      continue;
+    }
+    if (!entry.relations.IsSubsetOf(aqp.relations())) continue;
+    for (size_t slot : entry.items) {
+      Item& item = slots_[slot];
+      if (item.aqp.Covers(aqp)) {
+        item.ref = true;  // the covering part proved useful again
+        item.used_seq = ++seq_;
+        ++stats_.skipped_covered;
+        return;
+      }
+    }
+  }
+
+  // Second: drop stored parts that the new one covers (they live in
+  // entries whose relation set is a superset of the new part's).
+  for (Entry& entry : entries_) {
+    if (entry.items.empty()) continue;
+    if (enable_signatures_ && !new_sig.MaybeSubsetOf(entry.signature)) {
+      continue;
+    }
+    if (!aqp.relations().IsSubsetOf(entry.relations)) continue;
+    std::vector<size_t> kept;
+    kept.reserve(entry.items.size());
+    for (size_t slot : entry.items) {
+      if (aqp.Covers(slots_[slot].aqp)) {
+        slots_[slot].alive = false;
+        free_slots_.push_back(slot);
+        --live_;
+        ++stats_.removed_covered;
+      } else {
+        kept.push_back(slot);
+      }
+    }
+    entry.items = std::move(kept);
+  }
+
+  while (live_ >= n_max_) EvictOne();
+
+  size_t entry_idx = GetOrCreateEntry(aqp.relations());
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+  }
+  Item& item = slots_[slot];
+  item.aqp = aqp;
+  item.alive = true;
+  item.ref = true;
+  item.inserted_seq = ++seq_;
+  item.used_seq = item.inserted_seq;
+  item.entry_index = entry_idx;
+  entries_[entry_idx].items.push_back(slot);
+  ++live_;
+  ++stats_.inserted;
+}
+
+void CaqpCache::EvictOne() {
+  if (live_ == 0 || slots_.empty()) return;
+  ++stats_.evictions;
+  switch (policy_) {
+    case EvictionPolicy::kClock: {
+      while (true) {
+        if (clock_hand_ >= slots_.size()) clock_hand_ = 0;
+        Item& item = slots_[clock_hand_];
+        if (item.alive) {
+          if (item.ref) {
+            item.ref = false;
+          } else {
+            RemoveItem(clock_hand_);
+            ++clock_hand_;
+            return;
+          }
+        }
+        ++clock_hand_;
+      }
+    }
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo: {
+      size_t victim = slots_.size();
+      uint64_t best = ~uint64_t{0};
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].alive) continue;
+        uint64_t age = policy_ == EvictionPolicy::kLru
+                           ? slots_[i].used_seq
+                           : slots_[i].inserted_seq;
+        if (age < best) {
+          best = age;
+          victim = i;
+        }
+      }
+      if (victim < slots_.size()) RemoveItem(victim);
+      return;
+    }
+  }
+}
+
+void CaqpCache::RemoveItem(size_t slot) {
+  Item& item = slots_[slot];
+  Entry& entry = entries_[item.entry_index];
+  entry.items.erase(std::find(entry.items.begin(), entry.items.end(), slot));
+  item.alive = false;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+size_t CaqpCache::GetOrCreateEntry(const RelationSet& relations) {
+  std::string key = relations.Key();
+  auto it = entry_index_.find(key);
+  if (it != entry_index_.end()) return it->second;
+  Entry entry;
+  entry.relations = relations;
+  entry.signature = RelationSignature::Of(relations);
+  entries_.push_back(std::move(entry));
+  size_t idx = entries_.size() - 1;
+  entry_index_.emplace(std::move(key), idx);
+  return idx;
+}
+
+void CaqpCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  free_slots_.clear();
+  entries_.clear();
+  entry_index_.clear();
+  live_ = 0;
+  clock_hand_ = 0;
+}
+
+void CaqpCache::InvalidateRelation(const std::string& base_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string base = ToLower(base_name);
+  std::string prefix = base + "#";
+  for (Entry& entry : entries_) {
+    bool mentions = false;
+    for (const std::string& rel : entry.relations.names()) {
+      if (rel == base || StartsWith(rel, prefix)) {
+        mentions = true;
+        break;
+      }
+    }
+    if (!mentions) continue;
+    for (size_t slot : entry.items) {
+      slots_[slot].alive = false;
+      free_slots_.push_back(slot);
+      --live_;
+      ++stats_.invalidation_drops;
+    }
+    entry.items.clear();
+  }
+}
+
+size_t CaqpCache::DropIf(
+    const std::function<bool(const AtomicQueryPart&)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (Entry& entry : entries_) {
+    std::vector<size_t> kept;
+    kept.reserve(entry.items.size());
+    for (size_t slot : entry.items) {
+      if (pred(slots_[slot].aqp)) {
+        slots_[slot].alive = false;
+        free_slots_.push_back(slot);
+        --live_;
+        ++dropped;
+        ++stats_.invalidation_drops;
+      } else {
+        kept.push_back(slot);
+      }
+    }
+    entry.items = std::move(kept);
+  }
+  return dropped;
+}
+
+std::vector<AtomicQueryPart> CaqpCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AtomicQueryPart> out;
+  out.reserve(live_);
+  for (const Item& item : slots_) {
+    if (item.alive) out.push_back(item.aqp);
+  }
+  return out;
+}
+
+}  // namespace erq

@@ -1,0 +1,130 @@
+#ifndef ERQ_CORE_CAQP_CACHE_H_
+#define ERQ_CORE_CAQP_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/atomic_query_part.h"
+#include "core/config.h"
+#include "core/signature.h"
+
+namespace erq {
+
+/// The collection C_aqp (§2.2–2.3): an in-memory store of atomic query
+/// parts whose outputs are known to be empty on the current database.
+///
+/// Thread safety: all public methods are internally synchronized with a
+/// single mutex — in an RDBMS many sessions consult C_aqp concurrently,
+/// and even lookups mutate state (clock reference bits, statistics).
+/// Callers owning higher-level state (EmptyResultManager's counters, the
+/// catalog) must synchronize that state themselves.
+///
+/// Organization follows the paper: one entry per relation-name set, each
+/// holding the list of selection conditions stored for that set. Entry
+/// search by set containment is accelerated with superimposed-coding
+/// signatures [31]. Capacity is bounded by N_max with clock replacement
+/// (reference bits set on coverage hits); redundancy is removed by keeping
+/// only the most general parts (covered parts are dropped on insert, and an
+/// insert that is itself covered is skipped).
+class CaqpCache {
+ public:
+  struct CacheStats {
+    uint64_t lookups = 0;          // CoveredBy calls
+    uint64_t hits = 0;             // CoveredBy returned true
+    uint64_t conditions_scanned = 0;  // cover tests performed
+    uint64_t insert_attempts = 0;
+    uint64_t inserted = 0;
+    uint64_t skipped_covered = 0;  // new part already covered => not stored
+    uint64_t removed_covered = 0;  // stored parts displaced by a more
+                                   // general new part
+    uint64_t evictions = 0;
+    uint64_t invalidation_drops = 0;
+  };
+
+  explicit CaqpCache(size_t n_max,
+                     EvictionPolicy policy = EvictionPolicy::kClock,
+                     bool enable_signatures = true)
+      : n_max_(n_max), policy_(policy), enable_signatures_(enable_signatures) {}
+
+  /// True if some stored atomic query part covers `aqp` — i.e. the output
+  /// of `aqp` is provably empty (Theorem 2). Marks the covering part as
+  /// recently used.
+  bool CoveredBy(const AtomicQueryPart& aqp);
+
+  /// Stores `aqp` (harvested from an empty-result query part), enforcing
+  /// the redundancy and capacity rules above.
+  void Insert(const AtomicQueryPart& aqp);
+
+  /// Number of stored atomic query parts.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_;
+  }
+  size_t n_max() const { return n_max_; }
+
+  void Clear();
+
+  /// Drops every stored part whose relation set mentions `base_name`
+  /// (including renamed occurrences "base#k").
+  void InvalidateRelation(const std::string& base_name);
+
+  /// Drops every stored part for which `pred` returns true; returns the
+  /// number dropped. Used by the irrelevant-update filter.
+  size_t DropIf(const std::function<bool(const AtomicQueryPart&)>& pred);
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = CacheStats{};
+  }
+
+  /// Copies of all live parts (tests / debugging).
+  std::vector<AtomicQueryPart> Snapshot() const;
+
+ private:
+  struct Item {
+    AtomicQueryPart aqp;
+    bool alive = false;
+    bool ref = false;        // clock reference bit
+    uint64_t inserted_seq = 0;  // FIFO age
+    uint64_t used_seq = 0;      // LRU age
+    size_t entry_index = 0;
+  };
+
+  struct Entry {
+    RelationSet relations;
+    RelationSignature signature;
+    std::vector<size_t> items;  // slot indices
+  };
+
+  void EvictOne();
+  void RemoveItem(size_t slot);
+  size_t GetOrCreateEntry(const RelationSet& relations);
+
+  mutable std::mutex mu_;
+
+  size_t n_max_;
+  EvictionPolicy policy_;
+  bool enable_signatures_;
+
+  std::vector<Item> slots_;
+  std::vector<size_t> free_slots_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> entry_index_;
+
+  size_t live_ = 0;
+  size_t clock_hand_ = 0;
+  uint64_t seq_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_CAQP_CACHE_H_

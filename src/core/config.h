@@ -1,0 +1,59 @@
+#ifndef ERQ_CORE_CONFIG_H_
+#define ERQ_CORE_CONFIG_H_
+
+#include <cstddef>
+
+#include "expr/dnf.h"
+
+namespace erq {
+
+/// Replacement policy for the C_aqp collection. The paper uses the clock
+/// algorithm (§2.3); LRU and FIFO exist for the ablation benchmarks.
+enum class EvictionPolicy { kClock, kLru, kFifo };
+
+/// What to invalidate when a base relation is updated. The paper deletes
+/// all stored information on any update (read-mostly environment);
+/// kDropTouched scopes the invalidation to atomic query parts that mention
+/// the updated relation — a strict superset of the paper's guarantee.
+/// kFilterIrrelevant implements the §5 future-work extension: deletions
+/// invalidate nothing (they cannot un-empty a result), and inserts drop
+/// only the parts the new rows could actually satisfy (see
+/// core/update_filter.h). Mutations without row information still drop
+/// everything touching the relation.
+enum class InvalidationMode { kDropAll, kDropTouched, kFilterIrrelevant };
+
+/// Tuning knobs of the fast-detection method.
+struct EmptyResultConfig {
+  /// N_max: maximum number of atomic query parts stored in C_aqp (§2.3).
+  size_t n_max = 100000;
+
+  /// C_cost: optimizer-cost threshold separating low-cost queries (executed
+  /// directly) from high-cost queries (checked against C_aqp first) (§2.2).
+  double c_cost = 0.0;
+
+  /// Bounds for the exponential DNF rewriting step (§2.3, step 2).
+  DnfOptions dnf;
+
+  EvictionPolicy eviction = EvictionPolicy::kClock;
+  InvalidationMode invalidation = InvalidationMode::kDropTouched;
+
+  /// Use the signature prefilter [31] when searching entries by relation
+  /// set containment. Off only for the ablation bench.
+  bool enable_signatures = true;
+
+  /// Master switch; when false the manager always executes (baseline).
+  bool detection_enabled = true;
+
+  /// When true, the manager replaces c_cost with AdaptiveCostGate's
+  /// break-even estimate once enough history has accumulated (§2.2's
+  /// "decided based on past statistics").
+  bool auto_tune_c_cost = false;
+
+  /// Record empty results of low-cost queries too (paper says don't; knob
+  /// for experiments).
+  bool record_low_cost = false;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_CONFIG_H_

@@ -1,0 +1,66 @@
+#include "core/cost_gate.h"
+
+namespace erq {
+
+void AdaptiveCostGate::ObserveExecuted(double estimated_cost,
+                                       double check_seconds,
+                                       double execute_seconds,
+                                       bool was_empty) {
+  ++executed_;
+  if (was_empty) ++empty_results_;
+  if (check_seconds > 0.0) {
+    ++checks_;
+    check_seconds_sum_ += check_seconds;
+  }
+  if (estimated_cost > 0.0 && execute_seconds > 0.0) {
+    cost_time_sum_ += estimated_cost * execute_seconds;
+    cost_sq_sum_ += estimated_cost * estimated_cost;
+  }
+}
+
+void AdaptiveCostGate::ObserveDetected(double estimated_cost,
+                                       double check_seconds) {
+  (void)estimated_cost;
+  ++detected_;
+  ++checks_;
+  check_seconds_sum_ += check_seconds;
+}
+
+double AdaptiveCostGate::AverageCheckSeconds() const {
+  return checks_ == 0 ? 0.0 : check_seconds_sum_ / static_cast<double>(checks_);
+}
+
+double AdaptiveCostGate::AlphaSecondsPerCostUnit() const {
+  return cost_sq_sum_ <= 0.0 ? 0.0 : cost_time_sum_ / cost_sq_sum_;
+}
+
+double AdaptiveCostGate::EmptyFraction() const {
+  uint64_t total = executed_ + detected_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(empty_results_ + detected_) /
+         static_cast<double>(total);
+}
+
+double AdaptiveCostGate::HitFraction() const {
+  uint64_t empties = empty_results_ + detected_;
+  if (empties == 0) return 0.0;
+  return static_cast<double>(detected_) / static_cast<double>(empties);
+}
+
+double AdaptiveCostGate::Suggest(double fallback,
+                                 uint64_t min_samples) const {
+  if (samples() < min_samples || executed_ == 0) return fallback;
+  double alpha = AlphaSecondsPerCostUnit();
+  double check = AverageCheckSeconds();
+  double p_save = EmptyFraction() * HitFraction();
+  if (alpha <= 0.0 || check <= 0.0) return fallback;
+  if (p_save <= 0.0) {
+    // Nothing has ever been saved: checks are pure overhead so far, but a
+    // cold cache also yields p_hit = 0. Be conservative and gate only the
+    // cheapest decile of observed costs.
+    p_save = 0.01;
+  }
+  return check / (alpha * p_save);
+}
+
+}  // namespace erq

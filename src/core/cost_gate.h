@@ -1,0 +1,64 @@
+#ifndef ERQ_CORE_COST_GATE_H_
+#define ERQ_CORE_COST_GATE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace erq {
+
+/// §2.2 leaves C_cost as "an empirical number [whose] value can be decided
+/// based on past statistics: how expensive it is to use the information
+/// stored in C_aqp to check whether a query will return an empty result
+/// set, how likely a query will return an empty result set, etc."
+///
+/// AdaptiveCostGate implements exactly that bookkeeping. It observes, per
+/// query: the optimizer cost estimate, the measured check overhead, the
+/// measured execution time, and whether the result was empty. The check on
+/// a query with optimizer cost c pays `check_cost` always and saves
+/// `exec_time(c)` with probability ~ p_empty * p_hit. Modelling
+/// exec_time(c) ≈ alpha * c (a least-squares fit through the origin), the
+/// break-even cost is
+///
+///     C* = check_cost / (alpha * p_empty * p_hit)
+///
+/// Below C* the expected saving does not pay for the check. The gate keeps
+/// running sums, so Suggest() is O(1) and can be consulted any time;
+/// callers decide when (or whether) to adopt the suggestion.
+class AdaptiveCostGate {
+ public:
+  /// Records a query that was checked and/or executed. `estimated_cost`
+  /// is the optimizer estimate; `check_seconds` 0 when no check ran;
+  /// `execute_seconds` 0 when execution was skipped.
+  void ObserveExecuted(double estimated_cost, double check_seconds,
+                       double execute_seconds, bool was_empty);
+
+  /// Records a detection hit (check succeeded; execution skipped).
+  void ObserveDetected(double estimated_cost, double check_seconds);
+
+  /// Number of observations so far.
+  uint64_t samples() const { return executed_ + detected_; }
+
+  /// The break-even C_cost estimate. Returns `fallback` until at least
+  /// `min_samples` observations (and at least one executed query) exist.
+  double Suggest(double fallback = 0.0, uint64_t min_samples = 50) const;
+
+  // --- Fitted components (exposed for tests / introspection) ---
+  double AverageCheckSeconds() const;
+  double AlphaSecondsPerCostUnit() const;  // exec_time(c) ~ alpha * c
+  double EmptyFraction() const;
+  double HitFraction() const;  // detections / (detections + empty results)
+
+ private:
+  uint64_t executed_ = 0;
+  uint64_t detected_ = 0;
+  uint64_t empty_results_ = 0;
+  uint64_t checks_ = 0;
+  double check_seconds_sum_ = 0.0;
+  // Least-squares through the origin: alpha = sum(c*t) / sum(c^2).
+  double cost_time_sum_ = 0.0;
+  double cost_sq_sum_ = 0.0;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_COST_GATE_H_

@@ -1,0 +1,92 @@
+#include "core/decompose.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "expr/normalize.h"
+
+namespace erq {
+
+namespace {
+
+void FindLowest(const PhysOpPtr& node, std::vector<PhysOpPtr>* out) {
+  if (node->actual_rows != 0) {
+    // Non-empty or unexecuted: nothing here, but empty descendants may
+    // exist (e.g. under a union or outer join).
+    for (const PhysOpPtr& c : node->children) FindLowest(c, out);
+    return;
+  }
+  // This node is empty. If some executed child is empty, the cause is
+  // deeper; otherwise this is a lowest-level empty part.
+  bool child_empty = false;
+  for (const PhysOpPtr& c : node->children) {
+    if (c->actual_rows == 0) {
+      child_empty = true;
+      break;
+    }
+  }
+  if (!child_empty) {
+    out->push_back(node);
+    return;
+  }
+  for (const PhysOpPtr& c : node->children) FindLowest(c, out);
+}
+
+}  // namespace
+
+std::vector<PhysOpPtr> FindLowestEmptyParts(const PhysOpPtr& root) {
+  std::vector<PhysOpPtr> out;
+  if (root != nullptr && root->actual_rows >= 0) FindLowest(root, &out);
+  return out;
+}
+
+StatusOr<std::vector<AtomicQueryPart>> DecomposeSimplifiedPart(
+    const SimplifiedQueryPart& part, const DnfOptions& options) {
+  if (part.scans.empty()) {
+    return Status::InvalidArgument("query part contains no relations");
+  }
+  // §2.1 canonical renaming, scoped to this part: the first occurrence of
+  // a table keeps its name, later occurrences become "name#k".
+  std::unordered_map<std::string, std::string> alias_to_canonical;
+  std::unordered_map<std::string, int> occurrence;
+  std::vector<std::string> relation_names;
+  relation_names.reserve(part.scans.size());
+  for (const auto& [alias, table] : part.scans) {
+    std::string table_lower = ToLower(table);
+    int n = ++occurrence[table_lower];
+    std::string canonical =
+        n == 1 ? table_lower : table_lower + "#" + std::to_string(n);
+    alias_to_canonical[ToLower(alias)] = canonical;
+    relation_names.push_back(std::move(canonical));
+  }
+  RelationSet relations(std::move(relation_names));
+
+  // Combine conjuncts, canonicalize qualifiers, expand to DNF.
+  ExprPtr combined = Expr::MakeAnd(part.conjuncts);
+  ERQ_ASSIGN_OR_RETURN(ExprPtr renamed,
+                       RewriteQualifiers(combined, alias_to_canonical));
+  ERQ_ASSIGN_OR_RETURN(Dnf dnf, ExprToDnf(renamed, options));
+
+  std::vector<AtomicQueryPart> out;
+  out.reserve(dnf.size());
+  for (Conjunction& conj : dnf) {
+    out.emplace_back(relations, std::move(conj));
+  }
+  return out;
+}
+
+StatusOr<std::vector<AtomicQueryPart>> DecomposePhysicalPart(
+    const PhysOpPtr& part, const DnfOptions& options) {
+  ERQ_ASSIGN_OR_RETURN(SimplifiedQueryPart simplified,
+                       SimplifyPhysicalPart(part));
+  return DecomposeSimplifiedPart(simplified, options);
+}
+
+StatusOr<std::vector<AtomicQueryPart>> DecomposeLogicalPart(
+    const LogicalOpPtr& part, const DnfOptions& options) {
+  ERQ_ASSIGN_OR_RETURN(SimplifiedQueryPart simplified,
+                       SimplifyLogicalPart(part));
+  return DecomposeSimplifiedPart(simplified, options);
+}
+
+}  // namespace erq

@@ -1,0 +1,36 @@
+#ifndef ERQ_CORE_DECOMPOSE_H_
+#define ERQ_CORE_DECOMPOSE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/atomic_query_part.h"
+#include "core/simplify.h"
+#include "expr/dnf.h"
+
+namespace erq {
+
+/// Operation O2's search: the lowest-level physical query parts whose
+/// output was observed empty — nodes with actual_rows == 0 whose children
+/// all produced rows. (Theorem 1 makes everything above them redundant;
+/// everything below is non-empty by construction.) Nodes that were never
+/// executed (actual_rows < 0, e.g. an unreached build side) are skipped.
+std::vector<PhysOpPtr> FindLowestEmptyParts(const PhysOpPtr& root);
+
+/// §2.3 steps 1+2 end to end: simplify (T1–T3), rename aliases to canonical
+/// relation names (§2.1 self-join renaming, computed per part), rewrite the
+/// combined selection condition to DNF, and emit one atomic query part per
+/// DNF term. All returned parts share the part's full relation set R_N.
+StatusOr<std::vector<AtomicQueryPart>> DecomposeSimplifiedPart(
+    const SimplifiedQueryPart& part, const DnfOptions& options);
+
+/// Convenience wrappers over SimplifyPhysicalPart / SimplifyLogicalPart +
+/// DecomposeSimplifiedPart.
+StatusOr<std::vector<AtomicQueryPart>> DecomposePhysicalPart(
+    const PhysOpPtr& part, const DnfOptions& options);
+StatusOr<std::vector<AtomicQueryPart>> DecomposeLogicalPart(
+    const LogicalOpPtr& part, const DnfOptions& options);
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_DECOMPOSE_H_

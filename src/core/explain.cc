@@ -1,0 +1,80 @@
+#include "core/explain.h"
+
+#include "core/decompose.h"
+#include "core/simplify.h"
+
+namespace erq {
+
+namespace {
+
+/// Total rows read by the scans under `node` (input volume, for context).
+int64_t InputRows(const PhysicalOperator& node) {
+  if (node.kind == PhysOpKind::kTableScan ||
+      node.kind == PhysOpKind::kIndexScan) {
+    return node.actual_rows >= 0 ? node.actual_rows : 0;
+  }
+  int64_t total = 0;
+  for (const PhysOpPtr& c : node.children) total += InputRows(*c);
+  return total;
+}
+
+std::string RenderPart(const PhysOpPtr& part) {
+  auto simplified = SimplifyPhysicalPart(part);
+  std::string algebra;
+  if (simplified.ok()) {
+    std::string cond;
+    for (size_t i = 0; i < simplified->conjuncts.size(); ++i) {
+      if (i > 0) cond += " AND ";
+      cond += simplified->conjuncts[i]->ToString();
+    }
+    std::string rels;
+    for (size_t i = 0; i < simplified->scans.size(); ++i) {
+      if (i > 0) rels += " x ";
+      rels += simplified->scans[i].second;
+      if (simplified->scans[i].first != simplified->scans[i].second) {
+        rels += " " + simplified->scans[i].first;
+      }
+    }
+    algebra = cond.empty() ? rels : "sigma[" + cond + "](" + rels + ")";
+  } else {
+    algebra = PhysOpKindToString(part->kind);
+  }
+  return algebra + " produced 0 rows out of " +
+         std::to_string(InputRows(*part)) + " scanned";
+}
+
+}  // namespace
+
+std::string EmptyResultExplanation::ToString() const {
+  std::string out = "The query returned an empty result.\n\nExecuted plan "
+                    "(with output cardinalities):\n";
+  out += annotated_plan;
+  out += "\nMinimal zero result(s):\n";
+  for (const std::string& cause : minimal_causes) {
+    out += "  * " + cause + "\n";
+  }
+  return out;
+}
+
+StatusOr<EmptyResultExplanation> ExplainEmptyResult(const PhysOpPtr& root) {
+  if (root == nullptr || root->actual_rows < 0) {
+    return Status::InvalidArgument(
+        "plan has not been executed (no actual cardinalities)");
+  }
+  if (root->actual_rows != 0) {
+    return Status::InvalidArgument("the query result was not empty");
+  }
+  EmptyResultExplanation out;
+  out.annotated_plan = root->ToString();
+  for (const PhysOpPtr& part : FindLowestEmptyParts(root)) {
+    out.minimal_causes.push_back(RenderPart(part));
+  }
+  if (out.minimal_causes.empty()) {
+    out.minimal_causes.push_back(
+        "no SPJ sub-expression isolated; the whole query is the minimal "
+        "zero result");
+  }
+  return out;
+}
+
+}  // namespace erq

@@ -1,0 +1,36 @@
+#ifndef ERQ_CORE_EXPLAIN_H_
+#define ERQ_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/physical_plan.h"
+
+namespace erq {
+
+/// Operation O1 (§2.2): when a query returns an empty result, the plan is
+/// displayed with per-operator output cardinalities so the user can locate
+/// the sub-expression that caused the emptiness. This module additionally
+/// renders the *minimal zero results* (Corella et al. [10] / Lee [21]):
+/// the lowest-level query parts whose output was empty, in relational-
+/// algebra form.
+struct EmptyResultExplanation {
+  /// The executed plan with estimated and actual cardinalities per node.
+  std::string annotated_plan;
+  /// One human-readable description per lowest-level empty part, e.g.
+  /// "sigma[(o.orderdate = DATE '1995-01-01')](orders o) produced 0 rows
+  ///  out of 30000 scanned".
+  std::vector<std::string> minimal_causes;
+
+  std::string ToString() const;
+};
+
+/// Builds the explanation from an executed physical plan. Requires the
+/// plan to have been run (actual cardinalities present); fails with
+/// kInvalidArgument otherwise or when the root output was not empty.
+StatusOr<EmptyResultExplanation> ExplainEmptyResult(const PhysOpPtr& root);
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_EXPLAIN_H_

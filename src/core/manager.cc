@@ -1,0 +1,144 @@
+#include "core/manager.h"
+
+#include <chrono>
+
+namespace erq {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
+                                       EmptyResultConfig config,
+                                       OptimizerOptions optimizer_options)
+    : catalog_(catalog),
+      stats_catalog_(stats),
+      config_(config),
+      planner_(catalog),
+      optimizer_(catalog, stats, optimizer_options),
+      detector_(config) {
+  catalog_->AddEventListener([this](const TableUpdateEvent& event) {
+    if (stats_catalog_ != nullptr) stats_catalog_->Invalidate(event.table_name);
+    switch (event.kind) {
+      case TableUpdateEvent::Kind::kInsert: {
+        auto table = catalog_->GetTable(event.table_name);
+        if (table.ok() && event.inserted_rows != nullptr) {
+          detector_.OnRelationInserted(event.table_name,
+                                       (*table)->schema(),
+                                       *event.inserted_rows);
+        } else {
+          detector_.OnRelationUpdated(event.table_name);
+        }
+        break;
+      }
+      case TableUpdateEvent::Kind::kDelete:
+        detector_.OnRelationDeleted(event.table_name);
+        break;
+      case TableUpdateEvent::Kind::kDropTable:
+      case TableUpdateEvent::Kind::kGeneric:
+        detector_.OnRelationUpdated(event.table_name);
+        break;
+    }
+  });
+}
+
+StatusOr<QueryOutcome> EmptyResultManager::Query(const std::string& sql) {
+  ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parser::Parse(sql));
+  return QueryStatement(*stmt);
+}
+
+StatusOr<PhysOpPtr> EmptyResultManager::Prepare(const std::string& sql) {
+  ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parser::Parse(sql));
+  ERQ_ASSIGN_OR_RETURN(PlannedQuery planned, planner_.PlanStatement(*stmt));
+  return optimizer_.Optimize(planned.root);
+}
+
+StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
+    const Statement& stmt) {
+  ++stats_.queries;
+  QueryOutcome outcome;
+
+  ERQ_ASSIGN_OR_RETURN(PlannedQuery planned, planner_.PlanStatement(stmt));
+  ERQ_ASSIGN_OR_RETURN(PhysOpPtr physical, optimizer_.Optimize(planned.root));
+  outcome.estimated_cost = physical->estimated_cost;
+  outcome.high_cost = outcome.estimated_cost > EffectiveCostThreshold();
+  if (!outcome.high_cost) ++stats_.low_cost;
+
+  // §2.2: only high-cost queries are worth checking against C_aqp.
+  if (config_.detection_enabled && outcome.high_cost) {
+    auto start = std::chrono::steady_clock::now();
+    CheckResult check = detector_.CheckEmpty(planned.root);
+    outcome.check_seconds = SecondsSince(start);
+    ++stats_.checks;
+    if (check.provably_empty) {
+      outcome.detected_empty = true;
+      outcome.result_empty = true;
+      outcome.result.layout = physical->layout;
+      outcome.plan_text = physical->ToString();
+      ++stats_.detected_empty;
+      stats_.execute_seconds_saved_estimate += outcome.estimated_cost;
+      cost_gate_.ObserveDetected(outcome.estimated_cost,
+                                 outcome.check_seconds);
+      return outcome;
+    }
+  }
+
+  if (config_.detection_enabled && outcome.high_cost) {
+    // §2.5 partial detection: branches of set operations that are provably
+    // empty need not be evaluated.
+    auto start = std::chrono::steady_clock::now();
+    LogicalOpPtr pruned =
+        detector_.PrunePlan(planned.root, &outcome.branches_pruned);
+    outcome.check_seconds += SecondsSince(start);
+    if (outcome.branches_pruned > 0) {
+      stats_.branches_pruned += outcome.branches_pruned;
+      ERQ_ASSIGN_OR_RETURN(physical, optimizer_.Optimize(pruned));
+    }
+  }
+
+  {
+    auto start = std::chrono::steady_clock::now();
+    ERQ_ASSIGN_OR_RETURN(outcome.result, Executor::Run(physical));
+    outcome.execute_seconds = SecondsSince(start);
+  }
+  outcome.executed = true;
+  ++stats_.executed;
+  outcome.result_rows = outcome.result.rows.size();
+  outcome.result_empty = outcome.result.rows.empty();
+  // Operation O1: the plan, with per-operator output cardinalities, is
+  // surfaced to the user to explain the (possibly empty) result.
+  outcome.plan_text = physical->ToString();
+
+  cost_gate_.ObserveExecuted(outcome.estimated_cost, outcome.check_seconds,
+                             outcome.execute_seconds, outcome.result_empty);
+
+  if (outcome.result_empty) {
+    ++stats_.empty_results;
+    if (config_.detection_enabled &&
+        (outcome.high_cost || config_.record_low_cost)) {
+      auto start = std::chrono::steady_clock::now();
+      outcome.aqps_recorded = detector_.RecordEmpty(physical);
+      outcome.record_seconds = SecondsSince(start);
+      if (outcome.aqps_recorded > 0) ++stats_.recorded;
+    }
+  }
+  return outcome;
+}
+
+double EmptyResultManager::EffectiveCostThreshold() const {
+  if (!config_.auto_tune_c_cost) return config_.c_cost;
+  return cost_gate_.Suggest(config_.c_cost);
+}
+
+void EmptyResultManager::OnTableUpdated(const std::string& table_name) {
+  detector_.OnRelationUpdated(table_name);
+  if (stats_catalog_ != nullptr) stats_catalog_->Invalidate(table_name);
+}
+
+}  // namespace erq

@@ -1,0 +1,101 @@
+#ifndef ERQ_CORE_MANAGER_H_
+#define ERQ_CORE_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "core/cost_gate.h"
+#include "core/detector.h"
+#include "exec/executor.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "stats/analyzer.h"
+
+namespace erq {
+
+/// Result of submitting one query through the managed workflow.
+struct QueryOutcome {
+  bool detected_empty = false;  // skipped execution via C_aqp
+  bool executed = false;
+  bool result_empty = false;    // final result set was empty
+  size_t result_rows = 0;
+  size_t aqps_recorded = 0;     // atomic query parts stored after execution
+  size_t branches_pruned = 0;   // §2.5 partial detection: set-op branches
+                                // proven empty and removed before execution
+  double estimated_cost = 0.0;
+  bool high_cost = false;       // estimated_cost > C_cost
+
+  ExecutionResult result;  // rows (empty when detected_empty)
+  std::string plan_text;   // Operation O1: plan with output cardinalities
+
+  // Overhead accounting (seconds).
+  double check_seconds = 0.0;    // decompose + C_aqp search
+  double execute_seconds = 0.0;  // plan execution
+  double record_seconds = 0.0;   // Operation O2 harvest + store
+};
+
+/// Aggregate counters across a query stream.
+struct ManagerStats {
+  uint64_t queries = 0;
+  uint64_t low_cost = 0;
+  uint64_t checks = 0;
+  uint64_t detected_empty = 0;
+  uint64_t executed = 0;
+  uint64_t empty_results = 0;   // executed and came back empty
+  uint64_t recorded = 0;        // executions harvested into C_aqp
+  uint64_t branches_pruned = 0;
+  double execute_seconds_saved_estimate = 0.0;
+};
+
+/// EmptyResultManager glues the whole pipeline together — the role the
+/// paper's prototype plays inside PostgreSQL (§2.2):
+///   parse -> plan -> optimize -> [cost(Q) > C_cost ? check C_aqp] ->
+///   execute if not provably empty -> on empty result, harvest into C_aqp.
+/// Registers itself as a catalog update listener so base-table updates
+/// invalidate stored parts (read-mostly batch-update model).
+class EmptyResultManager {
+ public:
+  EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
+                     EmptyResultConfig config = {},
+                     OptimizerOptions optimizer_options = {});
+
+  /// Full workflow for a SQL string.
+  StatusOr<QueryOutcome> Query(const std::string& sql);
+
+  /// Full workflow for a parsed statement.
+  StatusOr<QueryOutcome> QueryStatement(const Statement& stmt);
+
+  /// Plans and optimizes without the detection workflow (for tools/tests).
+  StatusOr<PhysOpPtr> Prepare(const std::string& sql);
+
+  EmptyResultDetector& detector() { return detector_; }
+  const ManagerStats& stats() const { return stats_; }
+
+  /// Past-statistics model behind the C_cost gate; consult
+  /// cost_gate().Suggest() or enable config.auto_tune_c_cost.
+  const AdaptiveCostGate& cost_gate() const { return cost_gate_; }
+
+  /// The threshold currently in force (config.c_cost, or the adaptive
+  /// suggestion when auto-tuning is enabled and warmed up).
+  double EffectiveCostThreshold() const;
+  void ResetStats() { stats_ = ManagerStats{}; }
+
+  /// Invalidation hook (also wired to catalog update notifications).
+  void OnTableUpdated(const std::string& table_name);
+
+ private:
+  Catalog* catalog_;
+  StatsCatalog* stats_catalog_;
+  EmptyResultConfig config_;
+  Planner planner_;
+  Optimizer optimizer_;
+  EmptyResultDetector detector_;
+  AdaptiveCostGate cost_gate_;
+  ManagerStats stats_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_MANAGER_H_

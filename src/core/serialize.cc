@@ -1,0 +1,255 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace erq {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+std::string EncodeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 15]);
+  }
+  return out;
+}
+
+StatusOr<std::string> DecodeString(const std::string& hex) {
+  if (hex.size() % 2 != 0) return Status::ParseError("odd hex length");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::ParseError("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+StatusOr<std::string> EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      return "i:" + std::to_string(v.AsInt());
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", v.AsDouble());
+      return std::string(buf);
+    }
+    case DataType::kString:
+      return "s:" + EncodeString(v.AsString());
+    case DataType::kDate:
+      return "t:" + std::to_string(v.AsDate());
+    case DataType::kNull:
+      return Status::NotSupported("NULL values do not occur in terms");
+  }
+  return Status::Internal("bad value type");
+}
+
+StatusOr<Value> DecodeValue(const std::string& s) {
+  if (s.size() < 2 || s[1] != ':') {
+    return Status::ParseError("bad value encoding '" + s + "'");
+  }
+  std::string body = s.substr(2);
+  switch (s[0]) {
+    case 'i':
+      return Value::Int(std::strtoll(body.c_str(), nullptr, 10));
+    case 'd':
+      return Value::Double(std::strtod(body.c_str(), nullptr));
+    case 's': {
+      ERQ_ASSIGN_OR_RETURN(std::string decoded, DecodeString(body));
+      return Value::String(std::move(decoded));
+    }
+    case 't':
+      return Value::Date(
+          static_cast<int32_t>(std::strtol(body.c_str(), nullptr, 10)));
+    default:
+      return Status::ParseError("unknown value tag in '" + s + "'");
+  }
+}
+
+StatusOr<ColumnId> DecodeColumn(const std::string& s) {
+  size_t dot = s.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == s.size()) {
+    return Status::ParseError("bad column '" + s + "'");
+  }
+  return ColumnId::Make(s.substr(0, dot), s.substr(dot + 1));
+}
+
+StatusOr<CompareOp> DecodeOp(const std::string& s) {
+  if (s == "=") return CompareOp::kEq;
+  if (s == "<>") return CompareOp::kNe;
+  if (s == "<") return CompareOp::kLt;
+  if (s == "<=") return CompareOp::kLe;
+  if (s == ">") return CompareOp::kGt;
+  if (s == ">=") return CompareOp::kGe;
+  return Status::ParseError("bad compare op '" + s + "'");
+}
+
+StatusOr<std::string> EncodeTerm(const PrimitiveTerm& term) {
+  switch (term.kind()) {
+    case PrimitiveTerm::Kind::kInterval: {
+      const ValueInterval& iv = term.interval();
+      std::string out = "iv " + term.column().ToString();
+      if (iv.lo.has_value()) {
+        ERQ_ASSIGN_OR_RETURN(std::string v, EncodeValue(*iv.lo));
+        out += iv.lo_inclusive ? " ge " : " gt ";
+        out += v;
+      } else {
+        out += " none";
+      }
+      if (iv.hi.has_value()) {
+        ERQ_ASSIGN_OR_RETURN(std::string v, EncodeValue(*iv.hi));
+        out += iv.hi_inclusive ? " le " : " lt ";
+        out += v;
+      } else {
+        out += " none";
+      }
+      return out;
+    }
+    case PrimitiveTerm::Kind::kNotEqual: {
+      ERQ_ASSIGN_OR_RETURN(std::string v, EncodeValue(term.value()));
+      return "ne " + term.column().ToString() + " " + v;
+    }
+    case PrimitiveTerm::Kind::kColCol:
+      return "cc " + term.column().ToString() + " " +
+             CompareOpToString(term.compare_op()) + " " +
+             term.rhs_column().ToString();
+    case PrimitiveTerm::Kind::kOpaque:
+      return Status::NotSupported("opaque terms are not serializable");
+  }
+  return Status::Internal("bad term kind");
+}
+
+StatusOr<PrimitiveTerm> DecodeTerm(const std::string& text) {
+  std::istringstream in(text);
+  std::string kind;
+  in >> kind;
+  if (kind == "iv") {
+    std::string col_text;
+    in >> col_text;
+    ERQ_ASSIGN_OR_RETURN(ColumnId col, DecodeColumn(col_text));
+    ValueInterval iv;
+    std::string lo_kind;
+    in >> lo_kind;
+    if (lo_kind != "none") {
+      std::string v;
+      in >> v;
+      ERQ_ASSIGN_OR_RETURN(Value lo, DecodeValue(v));
+      iv.lo = std::move(lo);
+      iv.lo_inclusive = lo_kind == "ge";
+      if (lo_kind != "ge" && lo_kind != "gt") {
+        return Status::ParseError("bad interval lo kind '" + lo_kind + "'");
+      }
+    }
+    std::string hi_kind;
+    in >> hi_kind;
+    if (hi_kind != "none") {
+      std::string v;
+      in >> v;
+      ERQ_ASSIGN_OR_RETURN(Value hi, DecodeValue(v));
+      iv.hi = std::move(hi);
+      iv.hi_inclusive = hi_kind == "le";
+      if (hi_kind != "le" && hi_kind != "lt") {
+        return Status::ParseError("bad interval hi kind '" + hi_kind + "'");
+      }
+    }
+    if (in.fail()) return Status::ParseError("truncated interval term");
+    return PrimitiveTerm::MakeInterval(std::move(col), std::move(iv));
+  }
+  if (kind == "ne") {
+    std::string col_text, v;
+    in >> col_text >> v;
+    if (in.fail()) return Status::ParseError("truncated ne term");
+    ERQ_ASSIGN_OR_RETURN(ColumnId col, DecodeColumn(col_text));
+    ERQ_ASSIGN_OR_RETURN(Value value, DecodeValue(v));
+    return PrimitiveTerm::MakeNotEqual(std::move(col), std::move(value));
+  }
+  if (kind == "cc") {
+    std::string lhs, op, rhs;
+    in >> lhs >> op >> rhs;
+    if (in.fail()) return Status::ParseError("truncated cc term");
+    ERQ_ASSIGN_OR_RETURN(ColumnId l, DecodeColumn(lhs));
+    ERQ_ASSIGN_OR_RETURN(CompareOp o, DecodeOp(op));
+    ERQ_ASSIGN_OR_RETURN(ColumnId r, DecodeColumn(rhs));
+    return PrimitiveTerm::MakeColCol(std::move(l), o, std::move(r));
+  }
+  return Status::ParseError("unknown term kind '" + kind + "'");
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializePart(const AtomicQueryPart& part) {
+  std::string out = "aqp v1 " + part.relations().Key() + " |";
+  for (size_t i = 0; i < part.condition().terms().size(); ++i) {
+    ERQ_ASSIGN_OR_RETURN(std::string term,
+                         EncodeTerm(part.condition().terms()[i]));
+    if (i > 0) out += " ;";
+    out += " " + term;
+  }
+  return out;
+}
+
+StatusOr<AtomicQueryPart> ParsePart(const std::string& line) {
+  if (!StartsWith(line, "aqp v1 ")) {
+    return Status::ParseError("missing 'aqp v1' header");
+  }
+  size_t bar = line.find('|');
+  if (bar == std::string::npos) return Status::ParseError("missing '|'");
+  std::string rels_text(StripWhitespace(line.substr(7, bar - 7)));
+  if (rels_text.empty()) return Status::ParseError("empty relation set");
+  RelationSet relations(Split(rels_text, ','));
+
+  std::vector<PrimitiveTerm> terms;
+  std::string rest = line.substr(bar + 1);
+  for (const std::string& raw : Split(rest, ';')) {
+    std::string term_text(StripWhitespace(raw));
+    if (term_text.empty()) continue;
+    ERQ_ASSIGN_OR_RETURN(PrimitiveTerm term, DecodeTerm(term_text));
+    terms.push_back(std::move(term));
+  }
+  return AtomicQueryPart(std::move(relations),
+                         Conjunction::Make(std::move(terms)));
+}
+
+std::string SerializeCache(const CaqpCache& cache, size_t* skipped_opaque) {
+  std::string out;
+  size_t skipped = 0;
+  for (const AtomicQueryPart& part : cache.Snapshot()) {
+    auto line = SerializePart(part);
+    if (!line.ok()) {
+      ++skipped;
+      continue;
+    }
+    out += *line;
+    out += '\n';
+  }
+  if (skipped_opaque != nullptr) *skipped_opaque = skipped;
+  return out;
+}
+
+StatusOr<size_t> DeserializeInto(const std::string& text, CaqpCache* cache) {
+  size_t inserted = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    ERQ_ASSIGN_OR_RETURN(AtomicQueryPart part, ParsePart(line));
+    cache->Insert(part);
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace erq

@@ -1,0 +1,43 @@
+#ifndef ERQ_CORE_SERIALIZE_H_
+#define ERQ_CORE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/caqp_cache.h"
+
+namespace erq {
+
+/// Line-oriented text serialization of C_aqp contents, so a warmed cache
+/// survives process restarts in read-mostly deployments (the paper keeps
+/// C_aqp purely in memory; persistence is a production affordance).
+///
+/// Format (one atomic query part per line):
+///   aqp v1 <rel,rel,...> | term ; term ; ...
+/// with terms one of
+///   iv <rel.col> <lo-kind> [<value>] <hi-kind> [<value>]   (interval)
+///   ne <rel.col> <value>                                   (not-equal)
+///   cc <rel.col> <op> <rel.col>                            (col-col)
+/// Values are typed: i:<int>, d:<double>, s:<base16-utf8>, t:<days>.
+/// Opaque terms are not serializable; parts containing them are skipped by
+/// the writer (counted in the result), never mis-written.
+
+/// Serializes every live part. `skipped_opaque` (optional) counts parts
+/// omitted because they contain opaque terms.
+std::string SerializeCache(const CaqpCache& cache,
+                           size_t* skipped_opaque = nullptr);
+
+/// Parses `text` and inserts every part into `cache` (subject to the usual
+/// redundancy/capacity rules). Returns the number of parts inserted;
+/// malformed lines produce an error and nothing else is inserted from
+/// that point on.
+StatusOr<size_t> DeserializeInto(const std::string& text, CaqpCache* cache);
+
+/// Round-trip helpers for single parts (used by tests and tools).
+StatusOr<std::string> SerializePart(const AtomicQueryPart& part);
+StatusOr<AtomicQueryPart> ParsePart(const std::string& line);
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_SERIALIZE_H_

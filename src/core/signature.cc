@@ -1,0 +1,21 @@
+#include "core/signature.h"
+
+#include <functional>
+
+#include "common/hash.h"
+
+namespace erq {
+
+RelationSignature RelationSignature::Of(const RelationSet& relations) {
+  RelationSignature sig;
+  for (const std::string& name : relations.names()) {
+    uint64_t h = Mix64(std::hash<std::string>{}(name));
+    for (int i = 0; i < kBitsPerName; ++i) {
+      sig.bits_ |= uint64_t{1} << (h & 63);
+      h = Mix64(h);
+    }
+  }
+  return sig;
+}
+
+}  // namespace erq

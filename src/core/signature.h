@@ -1,0 +1,42 @@
+#ifndef ERQ_CORE_SIGNATURE_H_
+#define ERQ_CORE_SIGNATURE_H_
+
+#include <cstdint>
+
+#include "core/atomic_query_part.h"
+
+namespace erq {
+
+/// 64-bit superimposed-coding signature of a relation set, after the set
+/// containment signatures of Ramasamy et al. [31] the paper uses to speed
+/// up the "which entries have R_N ⊆ / ⊇ this set" search in C_aqp.
+///
+/// Each relation name sets k bits. The filter is one-sided:
+///   MaybeSubsetOf(a, b) == false  =>  a ⊄ b  (definitely not a subset);
+///   true only means "possibly".
+class RelationSignature {
+ public:
+  RelationSignature() = default;
+
+  static RelationSignature Of(const RelationSet& relations);
+
+  uint64_t bits() const { return bits_; }
+
+  /// Necessary condition for "this set ⊆ other set".
+  bool MaybeSubsetOf(const RelationSignature& other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  /// Necessary condition for "this set ⊇ other set".
+  bool MaybeSupersetOf(const RelationSignature& other) const {
+    return (other.bits_ & ~bits_) == 0;
+  }
+
+ private:
+  static constexpr int kBitsPerName = 2;
+  uint64_t bits_ = 0;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_SIGNATURE_H_

@@ -1,0 +1,44 @@
+#ifndef ERQ_CORE_SIMPLIFY_H_
+#define ERQ_CORE_SIMPLIFY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+
+namespace erq {
+
+/// The simplified query part P_s of §2.3 step 1: the relational-algebra
+/// content of an (SPJ) query part after the three transformations —
+///   T1: drop operators with no influence on emptiness (projection, hash,
+///       sort, duplicate elimination);
+///   T2: physical join operators (hash / merge / nested-loops) become the
+///       logical join, i.e. just their conditions;
+///   T3: index scans become table scan + selection with the index
+///       condition.
+/// What remains is a set of base relations and a bag of selection
+/// conditions — sigma_{AND conjuncts}( product of scans ).
+struct SimplifiedQueryPart {
+  /// (alias, table_name) per scan, in plan order.
+  std::vector<std::pair<std::string, std::string>> scans;
+  /// All selection/join conditions, with qualified column references.
+  std::vector<ExprPtr> conjuncts;
+
+  std::string ToString() const;
+};
+
+/// Applies T1–T3 to a physical SPJ subtree. Returns kNotSupported when the
+/// subtree contains a non-empty-result-propagating or non-SPJ operator
+/// (aggregate, union, except, outer join) — such parts are not harvested.
+StatusOr<SimplifiedQueryPart> SimplifyPhysicalPart(const PhysOpPtr& part);
+
+/// The same simplification for a logical SPJ subtree (used when checking a
+/// new query, §2.4, which works on the logical plan).
+StatusOr<SimplifiedQueryPart> SimplifyLogicalPart(const LogicalOpPtr& part);
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_SIMPLIFY_H_

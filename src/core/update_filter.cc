@@ -1,0 +1,95 @@
+#include "core/update_filter.h"
+
+#include "common/string_util.h"
+#include "expr/expr.h"
+
+namespace erq {
+
+namespace {
+
+/// True if `relation` is an occurrence of `base` ("base" or "base#k").
+bool IsOccurrenceOf(const std::string& relation, const std::string& base) {
+  if (relation == base) return true;
+  return StartsWith(relation, base + "#");
+}
+
+/// Evaluates a single-relation primitive term against the inserted row.
+/// Returns true when the row could satisfy it (conservative on anything
+/// not decidable from one row of this relation).
+bool RowMaySatisfy(const PrimitiveTerm& term, const std::string& base,
+                   const Schema& schema, const Row& row) {
+  switch (term.kind()) {
+    case PrimitiveTerm::Kind::kInterval:
+    case PrimitiveTerm::Kind::kNotEqual: {
+      if (!IsOccurrenceOf(term.column().relation, base)) {
+        return true;  // constrains another relation; undecidable here
+      }
+      auto idx = schema.IndexOf(term.column().column);
+      if (!idx.ok()) return true;  // unknown column: be conservative
+      const Value& v = row[*idx];
+      if (v.is_null()) return false;  // NULL satisfies no comparison
+      if (term.kind() == PrimitiveTerm::Kind::kInterval) {
+        return term.interval().ContainsPoint(v);
+      }
+      if (!v.ComparableWith(term.value())) return true;
+      return v != term.value();
+    }
+    case PrimitiveTerm::Kind::kColCol:
+      // A join (or same-relation column comparison) cannot be refuted from
+      // one inserted row without consulting the other side.
+      return true;
+    case PrimitiveTerm::Kind::kOpaque:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool InsertIsRelevant(const AtomicQueryPart& part, const std::string& base_name,
+                      const Schema& schema, const Row& row) {
+  std::string base = ToLower(base_name);
+  bool mentions = false;
+  for (const std::string& rel : part.relations().names()) {
+    if (IsOccurrenceOf(rel, base)) {
+      mentions = true;
+      break;
+    }
+  }
+  if (!mentions) return false;  // the part never reads this relation
+
+  // The inserted row contributes a new tuple to every occurrence of the
+  // relation in the part's product. The part can only become non-empty if
+  // the row passes every single-relation constraint on (at least) one
+  // occurrence; since the same row feeds all occurrences, check each
+  // occurrence independently and stay conservative across them.
+  for (const std::string& rel : part.relations().names()) {
+    if (!IsOccurrenceOf(rel, base)) continue;
+    bool occurrence_possible = true;
+    for (const PrimitiveTerm& term : part.condition().terms()) {
+      // Only terms that constrain exactly this occurrence can refute.
+      if ((term.kind() == PrimitiveTerm::Kind::kInterval ||
+           term.kind() == PrimitiveTerm::Kind::kNotEqual) &&
+          term.column().relation == rel) {
+        PrimitiveTerm local = term;
+        if (!RowMaySatisfy(local, rel, schema, row)) {
+          occurrence_possible = false;
+          break;
+        }
+      }
+    }
+    if (occurrence_possible) return true;
+  }
+  return false;
+}
+
+bool InsertsAreRelevant(const AtomicQueryPart& part,
+                        const std::string& base_name, const Schema& schema,
+                        const std::vector<Row>& rows) {
+  for (const Row& row : rows) {
+    if (InsertIsRelevant(part, base_name, schema, row)) return true;
+  }
+  return false;
+}
+
+}  // namespace erq

@@ -1,0 +1,44 @@
+#ifndef ERQ_CORE_UPDATE_FILTER_H_
+#define ERQ_CORE_UPDATE_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/atomic_query_part.h"
+#include "types/value.h"
+#include "types/schema.h"
+
+namespace erq {
+
+/// The paper's §5 future-work direction, after the irrelevant-update
+/// detection of materialized-view maintenance (Blakeley et al. [8], Levy &
+/// Sagiv [25]): most updates cannot turn a stored empty atomic query part
+/// non-empty, so they need not invalidate it.
+///
+/// Two facts drive the filter:
+///   * DELETIONS are always irrelevant — removing rows can only shrink the
+///     output of a select-project-join expression, and shrinking an empty
+///     output leaves it empty.
+///   * An INSERTED row r into relation R is irrelevant to a part P unless
+///     r satisfies every primitive term of P that constrains only R's
+///     columns. (Terms spanning other relations — join terms, opaque
+///     multi-relation comparisons — are conservatively treated as
+///     satisfiable.)
+///
+/// All decisions are conservative: "relevant" may be a false alarm (the
+/// part is dropped unnecessarily), "irrelevant" is always sound.
+
+/// True if inserting `row` (with `schema`) into the base relation whose
+/// canonical occurrences match `base_name` ("name", "name#2", ...) could
+/// possibly make `part`'s output non-empty.
+bool InsertIsRelevant(const AtomicQueryPart& part, const std::string& base_name,
+                      const Schema& schema, const Row& row);
+
+/// Batch form: true if ANY of `rows` is relevant to `part`.
+bool InsertsAreRelevant(const AtomicQueryPart& part,
+                        const std::string& base_name, const Schema& schema,
+                        const std::vector<Row>& rows);
+
+}  // namespace erq
+
+#endif  // ERQ_CORE_UPDATE_FILTER_H_

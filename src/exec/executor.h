@@ -1,0 +1,33 @@
+#ifndef ERQ_EXEC_EXECUTOR_H_
+#define ERQ_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/physical_plan.h"
+
+namespace erq {
+
+/// A fully materialized query result.
+struct ExecutionResult {
+  std::vector<Row> rows;
+  Layout layout;
+
+  bool empty() const { return rows.empty(); }
+};
+
+/// Pull-based (Volcano) executor over physical plans. Every operator
+/// counts the rows it emits into PhysicalOperator::actual_rows — the
+/// per-operator output cardinalities that Operation O1 displays and
+/// Operation O2 mines for lowest-level empty query parts (the paper keeps
+/// them "as collected statistics during query execution").
+class Executor {
+ public:
+  /// Runs the plan to completion. Resets and then fills actual_rows
+  /// throughout the tree.
+  static StatusOr<ExecutionResult> Run(const PhysOpPtr& plan);
+};
+
+}  // namespace erq
+
+#endif  // ERQ_EXEC_EXECUTOR_H_

@@ -1,0 +1,38 @@
+#ifndef ERQ_EXPR_DNF_H_
+#define ERQ_EXPR_DNF_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "expr/expr.h"
+#include "expr/primitive.h"
+
+namespace erq {
+
+struct DnfOptions {
+  /// Upper bound on the number of disjuncts the expansion may produce.
+  /// §2.3 notes the DNF rewriting is exponential and that "for queries
+  /// with extremely complex selection conditions, our method may not be
+  /// used" — exceeding the bound returns kResourceExhausted and the caller
+  /// falls back to plain execution.
+  size_t max_terms = 4096;
+};
+
+/// A disjunctive normal form: the query is (conj_1 OR conj_2 OR ...).
+/// Unsatisfiable disjuncts are retained (flagged) so callers can treat
+/// them as trivially empty.
+using Dnf = std::vector<Conjunction>;
+
+/// Converts an NNF predicate (no kNot / kInList; see NormalizeToNnf) into
+/// DNF over primitive terms.
+StatusOr<Dnf> NnfToDnf(const ExprPtr& nnf, const DnfOptions& options = {});
+
+/// Convenience: normalizes and converts in one step.
+StatusOr<Dnf> ExprToDnf(const ExprPtr& expr, const DnfOptions& options = {});
+
+/// Pretty-printer for tests and tracing.
+std::string DnfToString(const Dnf& dnf);
+
+}  // namespace erq
+
+#endif  // ERQ_EXPR_DNF_H_

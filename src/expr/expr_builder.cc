@@ -1,0 +1,75 @@
+#include "expr/expr_builder.h"
+
+#include <cstdlib>
+
+#include "types/date.h"
+
+namespace erq::eb {
+
+ExprPtr Col(const std::string& qualifier, const std::string& column) {
+  return Expr::MakeColumnRef(qualifier, column);
+}
+
+ExprPtr Int(int64_t v) { return Expr::MakeLiteral(Value::Int(v)); }
+ExprPtr Dbl(double v) { return Expr::MakeLiteral(Value::Double(v)); }
+ExprPtr Str(const std::string& s) {
+  return Expr::MakeLiteral(Value::String(s));
+}
+
+ExprPtr DateLit(const std::string& ymd) {
+  auto days = DateFromString(ymd);
+  if (!days.ok()) std::abort();
+  return Expr::MakeLiteral(Value::Date(days.value()));
+}
+
+ExprPtr Null() { return Expr::MakeLiteral(Value::Null()); }
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kGe, std::move(a), std::move(b));
+}
+
+ExprPtr And(std::vector<ExprPtr> children) {
+  return Expr::MakeAnd(std::move(children));
+}
+ExprPtr Or(std::vector<ExprPtr> children) {
+  return Expr::MakeOr(std::move(children));
+}
+ExprPtr Not(ExprPtr child) { return Expr::MakeNot(std::move(child)); }
+
+ExprPtr Between(ExprPtr v, ExprPtr lo, ExprPtr hi) {
+  return Expr::MakeBetween(std::move(v), std::move(lo), std::move(hi), false);
+}
+
+ExprPtr In(ExprPtr v, std::vector<ExprPtr> list) {
+  return Expr::MakeInList(std::move(v), std::move(list), false);
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::MakeArith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::MakeArith(ArithOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::MakeArith(ArithOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Expr::MakeArith(ArithOp::kDiv, std::move(a), std::move(b));
+}
+
+}  // namespace erq::eb

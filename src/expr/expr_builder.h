@@ -1,0 +1,42 @@
+#ifndef ERQ_EXPR_EXPR_BUILDER_H_
+#define ERQ_EXPR_EXPR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace erq::eb {
+
+/// Terse expression builders for tests, examples, and tools:
+///   using namespace erq::eb;
+///   ExprPtr p = And({Lt(Col("A", "a"), Int(40)), Eq(Col("A", "c"), Col("B", "d"))});
+
+ExprPtr Col(const std::string& qualifier, const std::string& column);
+ExprPtr Int(int64_t v);
+ExprPtr Dbl(double v);
+ExprPtr Str(const std::string& s);
+ExprPtr DateLit(const std::string& ymd);  // aborts on malformed input
+ExprPtr Null();
+
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Not(ExprPtr child);
+ExprPtr Between(ExprPtr v, ExprPtr lo, ExprPtr hi);
+ExprPtr In(ExprPtr v, std::vector<ExprPtr> list);
+
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+
+}  // namespace erq::eb
+
+#endif  // ERQ_EXPR_EXPR_BUILDER_H_

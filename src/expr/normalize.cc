@@ -1,0 +1,155 @@
+#include "expr/normalize.h"
+
+#include "common/string_util.h"
+
+namespace erq {
+
+namespace {
+
+StatusOr<ExprPtr> Normalize(const ExprPtr& expr, bool negate);
+
+StatusOr<ExprPtr> NormalizeChildrenNoNegate(const ExprPtr& expr) {
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  for (const ExprPtr& c : expr->children()) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr nc, Normalize(c, /*negate=*/false));
+    children.push_back(std::move(nc));
+  }
+  return expr->WithChildren(std::move(children));
+}
+
+StatusOr<ExprPtr> Normalize(const ExprPtr& expr, bool negate) {
+  switch (expr->kind()) {
+    case Expr::Kind::kNot:
+      return Normalize(expr->child(0), !negate);
+
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      bool is_and = expr->kind() == Expr::Kind::kAnd;
+      if (negate) is_and = !is_and;  // De Morgan
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children().size());
+      for (const ExprPtr& c : expr->children()) {
+        ERQ_ASSIGN_OR_RETURN(ExprPtr nc, Normalize(c, negate));
+        children.push_back(std::move(nc));
+      }
+      return is_and ? Expr::MakeAnd(std::move(children))
+                    : Expr::MakeOr(std::move(children));
+    }
+
+    case Expr::Kind::kCompare: {
+      CompareOp op = negate ? NegateCompareOp(expr->compare_op())
+                            : expr->compare_op();
+      ERQ_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           Normalize(expr->child(0), /*negate=*/false));
+      ERQ_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           Normalize(expr->child(1), /*negate=*/false));
+      return Expr::MakeCompare(op, std::move(lhs), std::move(rhs));
+    }
+
+    case Expr::Kind::kBetween: {
+      bool negated = expr->negated() != negate;
+      ERQ_ASSIGN_OR_RETURN(ExprPtr v,
+                           Normalize(expr->child(0), /*negate=*/false));
+      ERQ_ASSIGN_OR_RETURN(ExprPtr lo,
+                           Normalize(expr->child(1), /*negate=*/false));
+      ERQ_ASSIGN_OR_RETURN(ExprPtr hi,
+                           Normalize(expr->child(2), /*negate=*/false));
+      if (!negated) {
+        return Expr::MakeBetween(std::move(v), std::move(lo), std::move(hi),
+                                 /*negated=*/false);
+      }
+      // NOT BETWEEN: (v < lo) OR (v > hi).
+      std::vector<ExprPtr> disjuncts;
+      disjuncts.push_back(Expr::MakeCompare(CompareOp::kLt, v, std::move(lo)));
+      disjuncts.push_back(
+          Expr::MakeCompare(CompareOp::kGt, std::move(v), std::move(hi)));
+      return Expr::MakeOr(std::move(disjuncts));
+    }
+
+    case Expr::Kind::kInList: {
+      bool negated = expr->negated() != negate;
+      ERQ_ASSIGN_OR_RETURN(ExprPtr v,
+                           Normalize(expr->child(0), /*negate=*/false));
+      std::vector<ExprPtr> parts;
+      parts.reserve(expr->children().size() - 1);
+      for (size_t i = 1; i < expr->children().size(); ++i) {
+        ERQ_ASSIGN_OR_RETURN(ExprPtr item,
+                             Normalize(expr->child(i), /*negate=*/false));
+        parts.push_back(Expr::MakeCompare(
+            negated ? CompareOp::kNe : CompareOp::kEq, v, std::move(item)));
+      }
+      return negated ? Expr::MakeAnd(std::move(parts))
+                     : Expr::MakeOr(std::move(parts));
+    }
+
+    case Expr::Kind::kIsNull: {
+      bool negated = expr->negated() != negate;
+      ERQ_ASSIGN_OR_RETURN(ExprPtr v,
+                           Normalize(expr->child(0), /*negate=*/false));
+      return Expr::MakeIsNull(std::move(v), negated);
+    }
+
+    case Expr::Kind::kLike: {
+      bool negated = expr->negated() != negate;
+      ERQ_ASSIGN_OR_RETURN(ExprPtr v,
+                           Normalize(expr->child(0), /*negate=*/false));
+      return Expr::MakeLike(std::move(v), expr->child(1), negated);
+    }
+
+    case Expr::Kind::kLiteral: {
+      if (!negate) return expr;
+      const Value& v = expr->value();
+      if (v.is_null()) return expr;  // NOT NULL-literal stays unknown
+      bool truthy = v.AsDouble() != 0.0;
+      return Expr::MakeLiteral(Value::Int(truthy ? 0 : 1));
+    }
+
+    case Expr::Kind::kColumnRef:
+    case Expr::Kind::kArith: {
+      if (negate) {
+        // A bare scalar in negated boolean position: keep explicit NOT by
+        // comparing against 0 with flipped op is not well-defined for all
+        // types; reject (the parser never produces this for SPJ queries).
+        return Status::NotSupported(
+            "NOT applied to non-boolean expression: " + expr->ToString());
+      }
+      if (expr->kind() == Expr::Kind::kArith) {
+        return NormalizeChildrenNoNegate(expr);
+      }
+      return expr;
+    }
+  }
+  return Status::Internal("unhandled expr kind in normalizer");
+}
+
+}  // namespace
+
+StatusOr<ExprPtr> NormalizeToNnf(const ExprPtr& expr) {
+  return Normalize(expr, /*negate=*/false);
+}
+
+StatusOr<ExprPtr> RewriteQualifiers(
+    const ExprPtr& expr,
+    const std::unordered_map<std::string, std::string>& mapping) {
+  if (expr->kind() == Expr::Kind::kColumnRef) {
+    auto it = mapping.find(ToLower(expr->qualifier()));
+    if (it == mapping.end()) {
+      return Status::BindError("unresolved qualifier '" + expr->qualifier() +
+                               "' in " + expr->ToString());
+    }
+    ExprPtr renamed = Expr::MakeBoundColumnRef(it->second, expr->column(),
+                                               expr->slot());
+    return renamed;
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  for (const ExprPtr& c : expr->children()) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr nc, RewriteQualifiers(c, mapping));
+    children.push_back(std::move(nc));
+  }
+  return expr->WithChildren(std::move(children));
+}
+
+}  // namespace erq

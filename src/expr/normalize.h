@@ -1,0 +1,34 @@
+#ifndef ERQ_EXPR_NORMALIZE_H_
+#define ERQ_EXPR_NORMALIZE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "expr/expr.h"
+
+namespace erq {
+
+/// Rewrites `expr` into negation normal form, implementing the DNF-prep
+/// rewriting of §2.3 step 2:
+///   * NOT over comparisons is removed with complementary operators
+///     (not(a < 20) -> a >= 20; not(a = 20) -> a <> 20, which downstream
+///     splits into (< 20) OR (> 20) when needed);
+///   * De Morgan pushes NOT through AND/OR (sound under SQL 3VL);
+///   * NOT BETWEEN becomes (v < lo) OR (v > hi); BETWEEN itself is kept as
+///     a single interval primitive, as the paper prescribes;
+///   * IN-lists become OR-of-equalities, NOT IN becomes AND-of-<>;
+///   * IS [NOT] NULL absorbs the negation into its flag.
+/// The result contains no kNot and no kInList nodes.
+StatusOr<ExprPtr> NormalizeToNnf(const ExprPtr& expr);
+
+/// Replaces every column-ref qualifier according to `mapping`
+/// (lowercased-qualifier -> replacement). Qualifiers absent from the map
+/// are an error: callers pass complete binder output.
+StatusOr<ExprPtr> RewriteQualifiers(
+    const ExprPtr& expr,
+    const std::unordered_map<std::string, std::string>& mapping);
+
+}  // namespace erq
+
+#endif  // ERQ_EXPR_NORMALIZE_H_

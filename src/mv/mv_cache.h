@@ -1,0 +1,62 @@
+#ifndef ERQ_MV_MV_CACHE_H_
+#define ERQ_MV_MV_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "plan/logical_plan.h"
+
+namespace erq {
+
+/// Baseline for §2.6: detecting empty results with conventional
+/// materialized views. A previously executed empty query is remembered as
+/// a whole view definition — relations, the full (normalized) predicate,
+/// and the projection list. A new query is declared empty only when an
+/// exact-match view exists, because without emptiness-specific reasoning a
+/// view answers a query only under (at minimum) matching projections and
+/// equivalent predicates:
+///   * projections are NOT dropped (MV = π(A ⋈ B) being empty cannot,
+///     under plain view matching, answer Q1 = A ⋈ B);
+///   * parts of different queries are NOT combined;
+///   * relation-subset reasoning (π(R)=∅ ⇒ R⋈S=∅) is unavailable.
+/// Views are managed LRU under the same capacity budget as C_aqp, making
+/// hit-rate comparisons apples-to-apples.
+class MvEmptyCache {
+ public:
+  explicit MvEmptyCache(size_t max_views) : max_views_(max_views) {}
+
+  struct MvStats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t stored = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Remembers the logical plan of an executed empty-result query.
+  void RecordEmpty(const LogicalOpPtr& root);
+
+  /// True if an exactly matching empty view exists.
+  bool CheckEmpty(const LogicalOpPtr& root);
+
+  size_t size() const { return keys_.size(); }
+  void Clear();
+  const MvStats& stats() const { return stats_; }
+
+ private:
+  /// Canonical fingerprint of the whole query (relations + normalized
+  /// predicate + projection list + shape). Empty string when the plan
+  /// cannot be fingerprinted.
+  std::string Fingerprint(const LogicalOpPtr& root) const;
+
+  size_t max_views_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> keys_;
+  MvStats stats_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_MV_MV_CACHE_H_

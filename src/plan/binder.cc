@@ -1,0 +1,196 @@
+#include "plan/binder.h"
+
+#include "common/string_util.h"
+
+namespace erq {
+
+Layout Layout::Concat(const Layout& left, const Layout& right) {
+  std::vector<BoundColumn> columns = left.columns_;
+  columns.insert(columns.end(), right.columns_.begin(), right.columns_.end());
+  return Layout(std::move(columns));
+}
+
+namespace {
+
+int FindColumn(const std::vector<BoundColumn>& columns,
+               const std::string& qualifier, const std::string& column,
+               bool* ambiguous) {
+  int found = -1;
+  *ambiguous = false;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!EqualsIgnoreCase(columns[i].column, column)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(columns[i].alias, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      *ambiguous = true;
+      return -1;
+    }
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+}  // namespace
+
+StatusOr<int> Layout::Resolve(const std::string& qualifier,
+                              const std::string& column) const {
+  bool ambiguous = false;
+  int found = FindColumn(columns_, qualifier, column, &ambiguous);
+  if (found < 0 && !ambiguous && !qualifier.empty()) {
+    // Fallback for derived layouts that lost their qualifiers (aggregate /
+    // projection outputs).
+    found = FindColumn(columns_, "", column, &ambiguous);
+  }
+  if (ambiguous) {
+    return Status::BindError("ambiguous column reference '" +
+                             (qualifier.empty() ? column
+                                                : qualifier + "." + column) +
+                             "'");
+  }
+  if (found < 0) {
+    return Status::BindError("unknown column '" +
+                             (qualifier.empty() ? column
+                                                : qualifier + "." + column) +
+                             "'");
+  }
+  return found;
+}
+
+std::string Layout::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].alias + "." + columns_[i].column;
+  }
+  return out;
+}
+
+Layout ScanLayout(const Table& table, const std::string& alias) {
+  Layout layout;
+  for (const Column& c : table.schema().columns()) {
+    layout.Add(BoundColumn{alias, c.name, c.type});
+  }
+  return layout;
+}
+
+namespace {
+
+/// Static type of a bound scalar expression where determinable.
+std::optional<DataType> StaticType(const Expr& e, const Layout& layout) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumnRef:
+      if (e.slot() >= 0 && static_cast<size_t>(e.slot()) < layout.size()) {
+        return layout.column(static_cast<size_t>(e.slot())).type;
+      }
+      return std::nullopt;
+    case Expr::Kind::kLiteral:
+      if (e.value().is_null()) return std::nullopt;
+      return e.value().type();
+    case Expr::Kind::kArith: {
+      auto l = StaticType(*e.child(0), layout);
+      auto r = StaticType(*e.child(1), layout);
+      if (!l || !r) return std::nullopt;
+      if (*l == DataType::kDate || *r == DataType::kDate) {
+        return DataType::kDate;  // date +/- int
+      }
+      if (*l == DataType::kDouble || *r == DataType::kDouble) {
+        return DataType::kDouble;
+      }
+      return DataType::kInt64;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+Status CheckComparable(const Expr& parent, const Expr& a, const Expr& b,
+                       const Layout& layout) {
+  auto ta = StaticType(a, layout);
+  auto tb = StaticType(b, layout);
+  if (ta && tb && !TypesComparable(*ta, *tb)) {
+    return Status::BindError("cannot compare " +
+                             std::string(DataTypeToString(*ta)) + " with " +
+                             DataTypeToString(*tb) + " in " +
+                             parent.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ExprPtr> BindExpr(const ExprPtr& expr, const Layout& layout) {
+  if (expr->kind() == Expr::Kind::kColumnRef) {
+    ERQ_ASSIGN_OR_RETURN(int slot,
+                         layout.Resolve(expr->qualifier(), expr->column()));
+    const BoundColumn& col = layout.column(static_cast<size_t>(slot));
+    return Expr::MakeBoundColumnRef(col.alias, expr->column(), slot);
+  }
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  for (const ExprPtr& c : expr->children()) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr bc, BindExpr(c, layout));
+    children.push_back(std::move(bc));
+  }
+  ExprPtr bound = expr->children().empty() ? expr
+                                           : expr->WithChildren(children);
+  // Static comparability checks.
+  switch (bound->kind()) {
+    case Expr::Kind::kCompare:
+      ERQ_RETURN_IF_ERROR(
+          CheckComparable(*bound, *bound->child(0), *bound->child(1), layout));
+      break;
+    case Expr::Kind::kBetween:
+      ERQ_RETURN_IF_ERROR(
+          CheckComparable(*bound, *bound->child(0), *bound->child(1), layout));
+      ERQ_RETURN_IF_ERROR(
+          CheckComparable(*bound, *bound->child(0), *bound->child(2), layout));
+      break;
+    case Expr::Kind::kInList:
+      for (size_t i = 1; i < bound->children().size(); ++i) {
+        ERQ_RETURN_IF_ERROR(CheckComparable(*bound, *bound->child(0),
+                                            *bound->child(i), layout));
+      }
+      break;
+    default:
+      break;
+  }
+  return bound;
+}
+
+Status FromScope::Add(const Catalog& catalog, const TableRef& ref) {
+  ERQ_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table_name));
+  std::string alias_key = ToLower(ref.alias);
+  if (by_alias_.count(alias_key) > 0) {
+    return Status::BindError("duplicate alias '" + ref.alias +
+                             "' in FROM clause");
+  }
+  tables_.push_back(ref);
+  by_alias_.emplace(std::move(alias_key), table);
+  return Status::OK();
+}
+
+const Table* FromScope::TableForAlias(const std::string& alias) const {
+  auto it = by_alias_.find(ToLower(alias));
+  return it == by_alias_.end() ? nullptr : it->second;
+}
+
+bool FromScope::HasAlias(const std::string& alias) const {
+  return by_alias_.count(ToLower(alias)) > 0;
+}
+
+std::unordered_map<std::string, std::string> FromScope::CanonicalRelationMap()
+    const {
+  std::unordered_map<std::string, std::string> out;
+  std::unordered_map<std::string, int> occurrence;
+  for (const TableRef& ref : tables_) {
+    std::string table = ToLower(ref.table_name);
+    int n = ++occurrence[table];
+    std::string canonical =
+        n == 1 ? table : table + "#" + std::to_string(n);
+    out[ToLower(ref.alias)] = std::move(canonical);
+  }
+  return out;
+}
+
+}  // namespace erq

@@ -1,0 +1,84 @@
+#ifndef ERQ_PLAN_BINDER_H_
+#define ERQ_PLAN_BINDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "catalog/catalog.h"
+#include "expr/expr.h"
+#include "sql/ast.h"
+
+namespace erq {
+
+/// One column of an operator's output row.
+struct BoundColumn {
+  std::string alias;   // table alias the column originates from ("" = derived)
+  std::string column;  // column name
+  DataType type;
+};
+
+/// The output row layout of a (physical) operator: an ordered list of
+/// columns. Expressions are bound against a layout, turning qualified
+/// column references into row-slot indices.
+class Layout {
+ public:
+  Layout() = default;
+  explicit Layout(std::vector<BoundColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const BoundColumn& column(size_t i) const { return columns_[i]; }
+  const std::vector<BoundColumn>& columns() const { return columns_; }
+  void Add(BoundColumn c) { columns_.push_back(std::move(c)); }
+
+  /// Concatenation (join output layout).
+  static Layout Concat(const Layout& left, const Layout& right);
+
+  /// Resolves qualifier.column: qualifier empty => search all (ambiguity is
+  /// an error). Case-insensitive. When a non-empty qualifier matches no
+  /// column at all, retries by column name alone (derived layouts such as
+  /// aggregate outputs drop qualifiers).
+  StatusOr<int> Resolve(const std::string& qualifier,
+                        const std::string& column) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<BoundColumn> columns_;
+};
+
+/// Builds the layout of a base-table scan: all table columns under `alias`.
+Layout ScanLayout(const Table& table, const std::string& alias);
+
+/// Returns a copy of `expr` with every column reference slot-bound against
+/// `layout` and its qualifier filled in (unqualified refs get the alias
+/// that resolved them). Also type-checks comparisons whose operand types
+/// are statically known to be incomparable.
+StatusOr<ExprPtr> BindExpr(const ExprPtr& expr, const Layout& layout);
+
+/// Scope used while planning a SELECT: alias -> table, insertion-ordered.
+class FromScope {
+ public:
+  /// Registers the FROM list (and outer-join right sides); rejects
+  /// duplicate aliases and unknown tables.
+  Status Add(const Catalog& catalog, const TableRef& ref);
+
+  const std::vector<TableRef>& tables() const { return tables_; }
+  const Table* TableForAlias(const std::string& alias) const;
+  bool HasAlias(const std::string& alias) const;
+
+  /// alias (lowercased) -> canonical relation name per §2.1: the first
+  /// occurrence of a table keeps its name; later occurrences become
+  /// "name#2", "name#3", ...
+  std::unordered_map<std::string, std::string> CanonicalRelationMap() const;
+
+ private:
+  std::vector<TableRef> tables_;
+  std::unordered_map<std::string, const Table*> by_alias_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_PLAN_BINDER_H_

@@ -1,0 +1,174 @@
+#include "plan/logical_plan.h"
+
+namespace erq {
+
+const char* LogicalOpKindToString(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kScan:
+      return "Scan";
+    case LogicalOpKind::kFilter:
+      return "Filter";
+    case LogicalOpKind::kProject:
+      return "Project";
+    case LogicalOpKind::kJoin:
+      return "Join";
+    case LogicalOpKind::kSemiJoin:
+      return "SemiJoin";
+    case LogicalOpKind::kOuterJoin:
+      return "LeftOuterJoin";
+    case LogicalOpKind::kSort:
+      return "Sort";
+    case LogicalOpKind::kDistinct:
+      return "Distinct";
+    case LogicalOpKind::kAggregate:
+      return "Aggregate";
+    case LogicalOpKind::kUnion:
+      return "Union";
+    case LogicalOpKind::kExcept:
+      return "Except";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<LogicalOperator> NewOp(LogicalOpKind kind) {
+  auto op = std::make_shared<LogicalOperator>();
+  op->kind = kind;
+  return op;
+}
+
+}  // namespace
+
+LogicalOpPtr LogicalOperator::Scan(std::string table_name, std::string alias) {
+  auto op = NewOp(LogicalOpKind::kScan);
+  op->table_name = std::move(table_name);
+  op->alias = std::move(alias);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Filter(LogicalOpPtr input, ExprPtr predicate) {
+  auto op = NewOp(LogicalOpKind::kFilter);
+  op->children = {std::move(input)};
+  op->predicate = std::move(predicate);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Project(LogicalOpPtr input,
+                                      std::vector<SelectItem> items) {
+  auto op = NewOp(LogicalOpKind::kProject);
+  op->children = {std::move(input)};
+  op->items = std::move(items);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Join(LogicalOpPtr left, LogicalOpPtr right,
+                                   ExprPtr condition) {
+  auto op = NewOp(LogicalOpKind::kJoin);
+  op->children = {std::move(left), std::move(right)};
+  op->predicate = std::move(condition);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::SemiJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                       ExprPtr operand) {
+  auto op = NewOp(LogicalOpKind::kSemiJoin);
+  op->children = {std::move(left), std::move(right)};
+  op->predicate = std::move(operand);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::OuterJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                        ExprPtr condition) {
+  auto op = NewOp(LogicalOpKind::kOuterJoin);
+  op->children = {std::move(left), std::move(right)};
+  op->predicate = std::move(condition);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Sort(LogicalOpPtr input,
+                                   std::vector<OrderItem> order) {
+  auto op = NewOp(LogicalOpKind::kSort);
+  op->children = {std::move(input)};
+  op->order_by = std::move(order);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Distinct(LogicalOpPtr input) {
+  auto op = NewOp(LogicalOpKind::kDistinct);
+  op->children = {std::move(input)};
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Aggregate(LogicalOpPtr input,
+                                        std::vector<SelectItem> items,
+                                        std::vector<ExprPtr> group_by) {
+  auto op = NewOp(LogicalOpKind::kAggregate);
+  op->children = {std::move(input)};
+  op->items = std::move(items);
+  op->group_by = std::move(group_by);
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Union(LogicalOpPtr left, LogicalOpPtr right,
+                                    bool all) {
+  auto op = NewOp(LogicalOpKind::kUnion);
+  op->children = {std::move(left), std::move(right)};
+  op->all = all;
+  return op;
+}
+
+LogicalOpPtr LogicalOperator::Except(LogicalOpPtr left, LogicalOpPtr right,
+                                     bool all) {
+  auto op = NewOp(LogicalOpKind::kExcept);
+  op->children = {std::move(left), std::move(right)};
+  op->all = all;
+  return op;
+}
+
+void LogicalOperator::CollectScans(
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  if (kind == LogicalOpKind::kScan) {
+    out->emplace_back(alias, table_name);
+    return;
+  }
+  for (const LogicalOpPtr& c : children) c->CollectScans(out);
+}
+
+std::string LogicalOperator::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + LogicalOpKindToString(kind);
+  switch (kind) {
+    case LogicalOpKind::kScan:
+      out += " " + table_name;
+      if (alias != table_name) out += " AS " + alias;
+      break;
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kJoin:
+    case LogicalOpKind::kSemiJoin:
+    case LogicalOpKind::kOuterJoin:
+      if (predicate) out += " [" + predicate->ToString() + "]";
+      break;
+    case LogicalOpKind::kProject:
+    case LogicalOpKind::kAggregate: {
+      out += " [";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].ToString();
+      }
+      out += "]";
+      break;
+    }
+    case LogicalOpKind::kUnion:
+    case LogicalOpKind::kExcept:
+      if (all) out += " ALL";
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  for (const LogicalOpPtr& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace erq

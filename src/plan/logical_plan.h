@@ -1,0 +1,91 @@
+#ifndef ERQ_PLAN_LOGICAL_PLAN_H_
+#define ERQ_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace erq {
+
+/// Logical operator vocabulary. This is the representation §2.4 checks new
+/// queries against ("the logical query plan of Q is used"), and the target
+/// of the simplification T1–T3 applied to executed physical plans.
+enum class LogicalOpKind {
+  kScan,       // base table with alias
+  kFilter,     // selection
+  kProject,    // projection (no influence on emptiness)
+  kJoin,       // inner join (condition may be null => cross product)
+  kSemiJoin,   // left semi join: IN (subquery) rewrites; `predicate` is the
+               // left-side operand, matched against the right child's
+               // single output column
+  kOuterJoin,  // left outer join
+  kSort,
+  kDistinct,
+  kAggregate,  // grouped or scalar aggregation
+  kUnion,
+  kExcept,
+};
+
+const char* LogicalOpKindToString(LogicalOpKind kind);
+
+struct LogicalOperator;
+using LogicalOpPtr = std::shared_ptr<const LogicalOperator>;
+
+/// An immutable logical plan node. Fields are used according to `kind`.
+struct LogicalOperator {
+  LogicalOpKind kind;
+  std::vector<LogicalOpPtr> children;
+
+  // kScan
+  std::string table_name;
+  std::string alias;
+
+  // kFilter / kJoin / kOuterJoin: predicate (qualified column refs).
+  ExprPtr predicate;
+
+  // kProject / kAggregate output description.
+  std::vector<SelectItem> items;
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+
+  // kSort
+  std::vector<OrderItem> order_by;
+
+  // kUnion / kExcept
+  bool all = false;
+
+  // ---- factories ----
+  static LogicalOpPtr Scan(std::string table_name, std::string alias);
+  static LogicalOpPtr Filter(LogicalOpPtr input, ExprPtr predicate);
+  static LogicalOpPtr Project(LogicalOpPtr input, std::vector<SelectItem> items);
+  static LogicalOpPtr Join(LogicalOpPtr left, LogicalOpPtr right,
+                           ExprPtr condition);
+  /// `operand` is evaluated against left rows and matched (equality)
+  /// against the right child's only output column.
+  static LogicalOpPtr SemiJoin(LogicalOpPtr left, LogicalOpPtr right,
+                               ExprPtr operand);
+  static LogicalOpPtr OuterJoin(LogicalOpPtr left, LogicalOpPtr right,
+                                ExprPtr condition);
+  static LogicalOpPtr Sort(LogicalOpPtr input, std::vector<OrderItem> order);
+  static LogicalOpPtr Distinct(LogicalOpPtr input);
+  static LogicalOpPtr Aggregate(LogicalOpPtr input,
+                                std::vector<SelectItem> items,
+                                std::vector<ExprPtr> group_by);
+  static LogicalOpPtr Union(LogicalOpPtr left, LogicalOpPtr right, bool all);
+  static LogicalOpPtr Except(LogicalOpPtr left, LogicalOpPtr right, bool all);
+
+  /// Collects (alias, table_name) for every scan under this node,
+  /// depth-first left-to-right.
+  void CollectScans(
+      std::vector<std::pair<std::string, std::string>>* out) const;
+
+  /// Indented multi-line rendering.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_PLAN_LOGICAL_PLAN_H_

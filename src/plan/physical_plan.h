@@ -1,0 +1,105 @@
+#ifndef ERQ_PLAN_PHYSICAL_PLAN_H_
+#define ERQ_PLAN_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+#include "plan/binder.h"
+#include "sql/ast.h"
+
+namespace erq {
+
+/// Physical operator vocabulary — the operators whose output cardinalities
+/// the executor records (the paper's Operations O1/O2 consume exactly
+/// this: "the RDBMS can only obtain output cardinalities of physical
+/// operators in physical query plans").
+enum class PhysOpKind {
+  kTableScan,
+  kIndexScan,   // range access via a SortedIndex + optional residual filter
+  kFilter,
+  kProject,
+  kNestedLoopsJoin,
+  kHashJoin,
+  kMergeJoin,   // sorts its inputs, then merges (sort-merge join)
+  kSemiJoin,    // hash semi join: left rows whose key appears in the right
+                // child's single output column (IN-subquery rewrites)
+  kLeftOuterJoin,
+  kSort,
+  kDistinct,
+  kAggregate,
+  kUnion,
+  kExcept,
+};
+
+const char* PhysOpKindToString(PhysOpKind kind);
+
+struct PhysicalOperator;
+using PhysOpPtr = std::shared_ptr<PhysicalOperator>;
+
+/// A mutable physical plan node. Expressions are slot-bound against the
+/// child layouts noted per field. `actual_rows` is -1 until the executor
+/// has run the node; afterwards it holds the observed output cardinality
+/// (the statistic Operation O2 uses to find lowest-level empty parts).
+struct PhysicalOperator {
+  PhysOpKind kind;
+  std::vector<PhysOpPtr> children;
+  Layout layout;  // output layout
+
+  // kTableScan / kIndexScan
+  const Table* table = nullptr;
+  std::string table_name;
+  std::string alias;
+
+  // kIndexScan
+  SortedIndex* index = nullptr;
+  std::string index_column;     // column the index covers
+  Bound index_lo = Bound::Unbounded();
+  Bound index_hi = Bound::Unbounded();
+  ExprPtr index_condition;      // the predicate the bounds implement
+                                // (bound to the scan layout), used by T3
+
+  // kFilter (bound to child layout); kIndexScan residual filter.
+  ExprPtr predicate;
+
+  // Joins: equi-join keys bound to the respective child layouts.
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  /// Full join condition bound to the concatenated output layout
+  /// (NL join and outer join evaluate this; hash/merge joins evaluate
+  /// keys plus this residual). Null means cross product / no residual.
+  ExprPtr join_condition;
+
+  // kProject / kAggregate (exprs bound to child layout).
+  std::vector<SelectItem> items;
+  std::vector<ExprPtr> group_by;
+
+  // kSort (exprs bound to child layout).
+  std::vector<OrderItem> order_by;
+
+  // kUnion / kExcept
+  bool all = false;
+
+  // Optimizer estimates and executor observations.
+  double estimated_rows = 0.0;
+  double estimated_cost = 0.0;
+  int64_t actual_rows = -1;
+
+  /// Resets actual_rows to -1 in the whole subtree (before re-execution).
+  void ResetActuals();
+
+  /// Plan display with estimated and (when present) actual cardinalities —
+  /// what Operation O1 shows the user.
+  std::string ToString(int indent = 0) const;
+
+  static PhysOpPtr Make(PhysOpKind kind) {
+    auto op = std::make_shared<PhysicalOperator>();
+    op->kind = kind;
+    return op;
+  }
+};
+
+}  // namespace erq
+
+#endif  // ERQ_PLAN_PHYSICAL_PLAN_H_

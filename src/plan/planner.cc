@@ -1,0 +1,165 @@
+#include "plan/planner.h"
+
+#include "plan/optimizer.h"
+
+namespace erq {
+
+StatusOr<ExprPtr> Planner::QualifyExpr(const ExprPtr& expr,
+                                       const FromScope& scope) const {
+  Layout layout;
+  for (const TableRef& ref : scope.tables()) {
+    const Table* table = scope.TableForAlias(ref.alias);
+    layout = Layout::Concat(layout, ScanLayout(*table, ref.alias));
+  }
+  // BindExpr fills qualifiers (and slots relative to the all-tables layout,
+  // which the logical plan ignores).
+  return BindExpr(expr, layout);
+}
+
+StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStatement& select) const {
+  if (select.from.empty()) {
+    return Status::NotSupported("queries without FROM are not supported");
+  }
+  PlannedQuery out;
+  for (const TableRef& ref : select.from) {
+    ERQ_RETURN_IF_ERROR(out.scope.Add(*catalog_, ref));
+  }
+  for (const OuterJoin& oj : select.outer_joins) {
+    ERQ_RETURN_IF_ERROR(out.scope.Add(*catalog_, oj.right));
+  }
+
+  // Left-deep cross-join tree over the plain FROM list.
+  LogicalOpPtr root;
+  for (const TableRef& ref : select.from) {
+    LogicalOpPtr scan = LogicalOperator::Scan(ref.table_name, ref.alias);
+    root = root == nullptr
+               ? scan
+               : LogicalOperator::Join(std::move(root), scan, nullptr);
+  }
+
+  // Separate IN-subquery markers (top-level conjuncts only) from the rest
+  // of the WHERE clause, then qualify and apply the remainder.
+  std::vector<int> subquery_indexes;
+  if (select.where) {
+    std::vector<ExprPtr> keep;
+    for (const ExprPtr& conjunct : SplitConjuncts(select.where)) {
+      if (conjunct->kind() == Expr::Kind::kColumnRef &&
+          conjunct->qualifier().empty()) {
+        int idx = ParseSubqueryMarker(conjunct->column());
+        if (idx >= 0) {
+          if (static_cast<size_t>(idx) >= select.in_subqueries.size()) {
+            return Status::Internal("dangling subquery marker");
+          }
+          subquery_indexes.push_back(idx);
+          continue;
+        }
+      }
+      keep.push_back(conjunct);
+    }
+    if (!keep.empty()) {
+      ExprPtr rest = Expr::MakeAnd(std::move(keep));
+      // Nested markers (inside OR / NOT) are not supported.
+      std::vector<std::pair<std::string, std::string>> refs;
+      rest->CollectColumnRefs(&refs);
+      for (const auto& [q, c] : refs) {
+        if (q.empty() && ParseSubqueryMarker(c) >= 0) {
+          return Status::NotSupported(
+              "IN (subquery) is only supported as a top-level AND conjunct");
+        }
+      }
+      ERQ_ASSIGN_OR_RETURN(ExprPtr where, QualifyExpr(rest, out.scope));
+      root = LogicalOperator::Filter(std::move(root), std::move(where));
+    }
+  }
+
+  for (int idx : subquery_indexes) {
+    const InSubquery& sub = select.in_subqueries[static_cast<size_t>(idx)];
+    ERQ_ASSIGN_OR_RETURN(ExprPtr operand,
+                         QualifyExpr(sub.operand, out.scope));
+    ERQ_ASSIGN_OR_RETURN(PlannedQuery subplan, PlanStatement(*sub.query));
+    root = LogicalOperator::SemiJoin(std::move(root), subplan.root,
+                                     std::move(operand));
+  }
+
+  for (const OuterJoin& oj : select.outer_joins) {
+    LogicalOpPtr right = LogicalOperator::Scan(oj.right.table_name,
+                                               oj.right.alias);
+    ERQ_ASSIGN_OR_RETURN(ExprPtr cond, QualifyExpr(oj.condition, out.scope));
+    root = LogicalOperator::OuterJoin(std::move(root), std::move(right),
+                                      std::move(cond));
+  }
+
+  // Qualify select items.
+  std::vector<SelectItem> items;
+  items.reserve(select.items.size());
+  bool has_aggregate = false;
+  for (const SelectItem& item : select.items) {
+    SelectItem qualified = item;
+    if (item.expr) {
+      ERQ_ASSIGN_OR_RETURN(qualified.expr, QualifyExpr(item.expr, out.scope));
+    }
+    if (item.kind == SelectItem::Kind::kAggregate) has_aggregate = true;
+    items.push_back(std::move(qualified));
+  }
+
+  if (has_aggregate || !select.group_by.empty()) {
+    std::vector<ExprPtr> group_by;
+    group_by.reserve(select.group_by.size());
+    for (const ExprPtr& g : select.group_by) {
+      ERQ_ASSIGN_OR_RETURN(ExprPtr qg, QualifyExpr(g, out.scope));
+      group_by.push_back(std::move(qg));
+    }
+    for (const SelectItem& item : items) {
+      if (item.kind == SelectItem::Kind::kStar) {
+        return Status::NotSupported("SELECT * with aggregation");
+      }
+    }
+    root = LogicalOperator::Aggregate(std::move(root), items,
+                                      std::move(group_by));
+    if (select.having) {
+      // HAVING over the aggregate output is bound against aggregate
+      // aliases at execution; restrict to grouped columns here.
+      ERQ_ASSIGN_OR_RETURN(ExprPtr having,
+                           QualifyExpr(select.having, out.scope));
+      root = LogicalOperator::Filter(std::move(root), std::move(having));
+    }
+  } else {
+    root = LogicalOperator::Project(std::move(root), items);
+  }
+
+  if (select.distinct) {
+    root = LogicalOperator::Distinct(std::move(root));
+  }
+  if (!select.order_by.empty()) {
+    std::vector<OrderItem> order;
+    order.reserve(select.order_by.size());
+    for (const OrderItem& o : select.order_by) {
+      OrderItem qualified = o;
+      ERQ_ASSIGN_OR_RETURN(qualified.expr, QualifyExpr(o.expr, out.scope));
+      order.push_back(std::move(qualified));
+    }
+    root = LogicalOperator::Sort(std::move(root), std::move(order));
+  }
+  out.root = std::move(root);
+  return out;
+}
+
+StatusOr<PlannedQuery> Planner::PlanStatement(const Statement& stmt) const {
+  switch (stmt.op) {
+    case Statement::Op::kSelect:
+      return PlanSelect(*stmt.select);
+    case Statement::Op::kUnion:
+    case Statement::Op::kExcept: {
+      ERQ_ASSIGN_OR_RETURN(PlannedQuery left, PlanStatement(*stmt.left));
+      ERQ_ASSIGN_OR_RETURN(PlannedQuery right, PlanStatement(*stmt.right));
+      PlannedQuery out;
+      out.root = stmt.op == Statement::Op::kUnion
+                     ? LogicalOperator::Union(left.root, right.root, stmt.all)
+                     : LogicalOperator::Except(left.root, right.root, stmt.all);
+      return out;
+    }
+  }
+  return Status::Internal("unknown statement op");
+}
+
+}  // namespace erq

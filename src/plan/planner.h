@@ -1,0 +1,46 @@
+#ifndef ERQ_PLAN_PLANNER_H_
+#define ERQ_PLAN_PLANNER_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "catalog/catalog.h"
+#include "plan/binder.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace erq {
+
+/// A planned query: the logical operator tree plus the FROM scope
+/// information the empty-result machinery needs (alias -> canonical
+/// relation renaming per §2.1).
+struct PlannedQuery {
+  LogicalOpPtr root;
+  FromScope scope;  // scope of the outermost SELECT (empty for set ops)
+};
+
+/// Translates an AST into a logical plan:
+///   Scan* -> (left-deep) Join tree -> Filter(WHERE) -> OuterJoin* ->
+///   Aggregate? -> Filter(HAVING)? -> Project -> Distinct? -> Sort?
+/// Column references in every predicate are verified against the scope
+/// (existence + non-ambiguity) and fully qualified, but remain slot-unbound
+/// (slots are a physical-plan concern).
+class Planner {
+ public:
+  explicit Planner(const Catalog* catalog) : catalog_(catalog) {}
+
+  StatusOr<PlannedQuery> PlanStatement(const Statement& stmt) const;
+  StatusOr<PlannedQuery> PlanSelect(const SelectStatement& select) const;
+
+ private:
+  /// Qualifies (and validates) every column ref in `expr` against `scope`
+  /// without slot-binding.
+  StatusOr<ExprPtr> QualifyExpr(const ExprPtr& expr,
+                                const FromScope& scope) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_PLAN_PLANNER_H_

@@ -1,0 +1,108 @@
+#ifndef ERQ_SQL_AST_H_
+#define ERQ_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace erq {
+
+/// A base-table reference in a FROM clause. `alias` is never empty: it
+/// defaults to the table name. Self-joins get distinct aliases from the
+/// user, or the planner renames repeated occurrences (§2.1).
+struct TableRef {
+  std::string table_name;
+  std::string alias;
+
+  std::string ToString() const {
+    return alias == table_name ? table_name : table_name + " AS " + alias;
+  }
+};
+
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncToString(AggFunc f);
+
+/// One item of the SELECT list.
+struct SelectItem {
+  enum class Kind {
+    kStar,       // SELECT *
+    kExpr,       // plain expression (usually a column ref)
+    kAggregate,  // agg(expr) or COUNT(*)
+  };
+  Kind kind = Kind::kExpr;
+  ExprPtr expr;  // null for kStar and COUNT(*)
+  AggFunc agg = AggFunc::kCount;
+  bool count_star = false;
+  std::string alias;  // optional output name
+
+  std::string ToString() const;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+enum class JoinType { kInner, kLeftOuter };
+
+/// An explicit `JOIN <table> ON <cond>` element. Inner joins are desugared
+/// into the FROM list + WHERE conjunct by the parser; only outer joins are
+/// retained here (the planner treats them per §2.5(3)).
+struct OuterJoin {
+  JoinType type = JoinType::kLeftOuter;
+  TableRef right;
+  ExprPtr condition;
+};
+
+struct Statement;
+
+/// An `operand IN (SELECT ...)` predicate. The paper's SPJ class includes
+/// "nested queries that can be rewritten into such a form"; we rewrite
+/// IN-subqueries to semi-joins, which are emptiness-equivalent to joins
+/// (the implicit projection/dedup falls to transformation T1). In the
+/// WHERE tree the predicate is represented by a marker column reference
+/// "$subq<index>" that the planner resolves against this list; markers are
+/// only supported as top-level AND conjuncts.
+struct InSubquery {
+  ExprPtr operand;
+  std::unique_ptr<Statement> query;
+};
+
+/// Marker column name for in_subqueries[i].
+std::string SubqueryMarkerName(size_t index);
+/// Parses a marker name back to an index; -1 if not a marker.
+int ParseSubqueryMarker(const std::string& column_name);
+
+/// A single SELECT block (no set operators).
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<OuterJoin> outer_joins;
+  ExprPtr where;  // null when absent
+  std::vector<InSubquery> in_subqueries;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // null when absent
+  std::vector<OrderItem> order_by;
+
+  bool HasAggregates() const;
+  std::string ToString() const;
+};
+
+/// A query: a SELECT or a set-operation tree over SELECTs.
+struct Statement {
+  enum class Op { kSelect, kUnion, kExcept };
+  Op op = Op::kSelect;
+  bool all = false;  // UNION ALL / EXCEPT ALL
+  std::unique_ptr<SelectStatement> select;    // when op == kSelect
+  std::unique_ptr<Statement> left, right;     // when op is a set op
+
+  std::string ToString() const;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_SQL_AST_H_

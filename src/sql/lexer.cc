@@ -1,0 +1,202 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace erq {
+
+char Lexer::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  return i < input_.size() ? input_[i] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+StatusOr<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    ERQ_ASSIGN_OR_RETURN(Token tok, Next());
+    bool eof = tok.type == TokenType::kEof;
+    tokens.push_back(std::move(tok));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+StatusOr<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.position = pos_;
+  if (AtEnd()) {
+    tok.type = TokenType::kEof;
+    return tok;
+  }
+  char c = Peek();
+
+  // Numbers: integer or double; a leading '.' digit form (.5) is supported.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    size_t start = pos_;
+    bool has_dot = false, has_exp = false;
+    while (!AtEnd()) {
+      char d = Peek();
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++pos_;
+      } else if (d == '.' && !has_dot && !has_exp) {
+        has_dot = true;
+        ++pos_;
+      } else if ((d == 'e' || d == 'E') && !has_exp &&
+                 (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+                  ((Peek(1) == '+' || Peek(1) == '-') &&
+                   std::isdigit(static_cast<unsigned char>(Peek(2)))))) {
+        has_exp = true;
+        ++pos_;
+        if (Peek() == '+' || Peek() == '-') ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string text = input_.substr(start, pos_ - start);
+    tok.text = text;
+    if (has_dot || has_exp) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      errno = 0;
+      tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Status::ParseError("integer literal out of range: " + text);
+      }
+    }
+    return tok;
+  }
+
+  // Identifiers / keywords.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '#')) {
+      ++pos_;
+    }
+    std::string word = input_.substr(start, pos_ - start);
+    if (IsReservedKeyword(word)) {
+      tok.type = TokenType::kKeyword;
+      tok.text = ToUpper(word);
+    } else {
+      tok.type = TokenType::kIdentifier;
+      tok.text = word;
+    }
+    return tok;
+  }
+
+  // String literal.
+  if (c == '\'') {
+    ++pos_;
+    std::string content;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      char d = Peek();
+      if (d == '\'') {
+        if (Peek(1) == '\'') {  // escaped quote
+          content += '\'';
+          pos_ += 2;
+        } else {
+          ++pos_;
+          break;
+        }
+      } else {
+        content += d;
+        ++pos_;
+      }
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(content);
+    return tok;
+  }
+
+  // Operators / punctuation.
+  auto single = [&](TokenType t) {
+    tok.type = t;
+    tok.text = std::string(1, c);
+    ++pos_;
+    return tok;
+  };
+  switch (c) {
+    case ',':
+      return single(TokenType::kComma);
+    case '.':
+      return single(TokenType::kDot);
+    case '(':
+      return single(TokenType::kLParen);
+    case ')':
+      return single(TokenType::kRParen);
+    case '*':
+      return single(TokenType::kStar);
+    case '+':
+      return single(TokenType::kPlus);
+    case '-':
+      return single(TokenType::kMinus);
+    case '/':
+      return single(TokenType::kSlash);
+    case '=':
+      return single(TokenType::kEq);
+    case '<':
+      if (Peek(1) == '=') {
+        tok.type = TokenType::kLe;
+        tok.text = "<=";
+        pos_ += 2;
+        return tok;
+      }
+      if (Peek(1) == '>') {
+        tok.type = TokenType::kNe;
+        tok.text = "<>";
+        pos_ += 2;
+        return tok;
+      }
+      return single(TokenType::kLt);
+    case '>':
+      if (Peek(1) == '=') {
+        tok.type = TokenType::kGe;
+        tok.text = ">=";
+        pos_ += 2;
+        return tok;
+      }
+      return single(TokenType::kGt);
+    case '!':
+      if (Peek(1) == '=') {
+        tok.type = TokenType::kNe;
+        tok.text = "!=";
+        pos_ += 2;
+        return tok;
+      }
+      return Status::ParseError("unexpected character '!' at offset " +
+                                std::to_string(pos_));
+    case ';':
+      // Statement terminator: treat as end of input.
+      pos_ = input_.size();
+      tok.type = TokenType::kEof;
+      return tok;
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(pos_));
+  }
+}
+
+}  // namespace erq

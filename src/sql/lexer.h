@@ -1,0 +1,35 @@
+#ifndef ERQ_SQL_LEXER_H_
+#define ERQ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sql/token.h"
+
+namespace erq {
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their original case (matching
+/// is case-insensitive downstream). String literals use single quotes with
+/// '' as the escape. `--` starts a line comment.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  /// Tokenizes the whole input; the final token is always kEof.
+  StatusOr<std::vector<Token>> Tokenize();
+
+ private:
+  StatusOr<Token> Next();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_SQL_LEXER_H_

@@ -1,0 +1,508 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+#include "types/date.h"
+
+namespace erq {
+
+namespace {
+
+/// Maps an aggregate function name to its enum; false if not an aggregate.
+bool LookupAggFunc(const std::string& name, AggFunc* out) {
+  if (EqualsIgnoreCase(name, "count")) {
+    *out = AggFunc::kCount;
+  } else if (EqualsIgnoreCase(name, "sum")) {
+    *out = AggFunc::kSum;
+  } else if (EqualsIgnoreCase(name, "min")) {
+    *out = AggFunc::kMin;
+  } else if (EqualsIgnoreCase(name, "max")) {
+    *out = AggFunc::kMax;
+  } else if (EqualsIgnoreCase(name, "avg")) {
+    *out = AggFunc::kAvg;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Statement>> Parser::Parse(const std::string& sql) {
+  Lexer lexer(sql);
+  ERQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, parser.ParseQuery());
+  if (parser.Peek().type != TokenType::kEof) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+StatusOr<ExprPtr> Parser::ParseExpression(const std::string& text) {
+  Lexer lexer(text);
+  ERQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  ERQ_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  if (parser.Peek().type != TokenType::kEof) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return expr;
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // EOF token
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& tok = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!MatchKeyword(kw)) {
+    return ErrorHere(std::string("expected ") + kw);
+  }
+  return Status::OK();
+}
+
+bool Parser::Match(TokenType t) {
+  if (Peek().type == t) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType t, const char* what) {
+  if (!Match(t)) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  return Status::OK();
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + ", got " + Peek().ToString() +
+                            " at offset " + std::to_string(Peek().position));
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseQuery() {
+  ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> left, ParseBlock());
+  while (CheckKeyword("UNION") || CheckKeyword("EXCEPT")) {
+    bool is_union = MatchKeyword("UNION");
+    if (!is_union) ERQ_RETURN_IF_ERROR(ExpectKeyword("EXCEPT"));
+    bool all = MatchKeyword("ALL");
+    ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> right, ParseBlock());
+    auto node = std::make_unique<Statement>();
+    node->op = is_union ? Statement::Op::kUnion : Statement::Op::kExcept;
+    node->all = all;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    left = std::move(node);
+  }
+  return left;
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseBlock() {
+  if (Match(TokenType::kLParen)) {
+    ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> inner, ParseQuery());
+    ERQ_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return inner;
+  }
+  ERQ_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> select, ParseSelect());
+  auto stmt = std::make_unique<Statement>();
+  stmt->op = Statement::Op::kSelect;
+  stmt->select = std::move(select);
+  return stmt;
+}
+
+StatusOr<TableRef> Parser::ParseTableRef() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name");
+  }
+  TableRef ref;
+  ref.table_name = Advance().text;
+  ref.alias = ref.table_name;
+  if (MatchKeyword("AS")) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected alias after AS");
+    }
+    ref.alias = Advance().text;
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+StatusOr<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // Aggregate: ident '(' ... ')' where ident is a known agg function.
+  if (Peek().type == TokenType::kIdentifier &&
+      Peek(1).type == TokenType::kLParen) {
+    AggFunc func;
+    if (LookupAggFunc(Peek().text, &func)) {
+      Advance();  // function name
+      Advance();  // '('
+      item.kind = SelectItem::Kind::kAggregate;
+      item.agg = func;
+      if (Peek().type == TokenType::kStar) {
+        if (func != AggFunc::kCount) {
+          return ErrorHere("'*' argument is only valid for COUNT");
+        }
+        Advance();
+        item.count_star = true;
+      } else {
+        ERQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      ERQ_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    }
+  }
+  if (item.kind != SelectItem::Kind::kAggregate) {
+    item.kind = SelectItem::Kind::kExpr;
+    ERQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  }
+  if (MatchKeyword("AS")) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected alias after AS");
+    }
+    item.alias = Advance().text;
+  } else if (Peek().type == TokenType::kIdentifier) {
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+StatusOr<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
+  ERQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto select = std::make_unique<SelectStatement>();
+  select->distinct = MatchKeyword("DISTINCT");
+
+  // Select list.
+  if (Match(TokenType::kStar)) {
+    SelectItem star;
+    star.kind = SelectItem::Kind::kStar;
+    select->items.push_back(std::move(star));
+  } else {
+    do {
+      ERQ_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      select->items.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+
+  ERQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+
+  std::vector<ExprPtr> join_conjuncts;
+  do {
+    ERQ_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    select->from.push_back(std::move(ref));
+    // Join suffixes bind to the current from_item.
+    while (true) {
+      if (CheckKeyword("JOIN") || CheckKeyword("INNER")) {
+        MatchKeyword("INNER");
+        ERQ_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        ERQ_ASSIGN_OR_RETURN(TableRef right, ParseTableRef());
+        ERQ_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        ERQ_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        select->from.push_back(std::move(right));
+        join_conjuncts.push_back(std::move(cond));
+      } else if (CheckKeyword("CROSS")) {
+        Advance();
+        ERQ_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        ERQ_ASSIGN_OR_RETURN(TableRef right, ParseTableRef());
+        select->from.push_back(std::move(right));
+      } else if (CheckKeyword("LEFT")) {
+        Advance();
+        MatchKeyword("OUTER");
+        ERQ_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        ERQ_ASSIGN_OR_RETURN(TableRef right, ParseTableRef());
+        ERQ_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        ERQ_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        OuterJoin oj;
+        oj.type = JoinType::kLeftOuter;
+        oj.right = std::move(right);
+        oj.condition = std::move(cond);
+        select->outer_joins.push_back(std::move(oj));
+      } else if (CheckKeyword("RIGHT") || CheckKeyword("FULL")) {
+        return ErrorHere("RIGHT/FULL OUTER JOIN not supported");
+      } else {
+        break;
+      }
+    }
+  } while (Match(TokenType::kComma));
+
+  if (MatchKeyword("WHERE")) {
+    std::vector<InSubquery>* saved = current_subqueries_;
+    current_subqueries_ = &select->in_subqueries;
+    auto where = ParseExpr();
+    current_subqueries_ = saved;
+    ERQ_RETURN_IF_ERROR(where.status());
+    select->where = std::move(*where);
+  }
+  // Fold desugared inner-join conditions into WHERE.
+  if (!join_conjuncts.empty()) {
+    std::vector<ExprPtr> conjuncts = std::move(join_conjuncts);
+    if (select->where) conjuncts.push_back(select->where);
+    select->where = Expr::MakeAnd(std::move(conjuncts));
+  }
+
+  if (MatchKeyword("GROUP")) {
+    ERQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      ERQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      select->group_by.push_back(std::move(e));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("HAVING")) {
+    ERQ_ASSIGN_OR_RETURN(select->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    ERQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      ERQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      select->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+  return select;
+}
+
+// ---- Expressions ----
+
+StatusOr<ExprPtr> Parser::ParseExpr() {
+  ERQ_ASSIGN_OR_RETURN(ExprPtr first, ParseAnd());
+  if (!CheckKeyword("OR")) return first;
+  std::vector<ExprPtr> children = {std::move(first)};
+  while (MatchKeyword("OR")) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+    children.push_back(std::move(next));
+  }
+  return Expr::MakeOr(std::move(children));
+}
+
+StatusOr<ExprPtr> Parser::ParseAnd() {
+  ERQ_ASSIGN_OR_RETURN(ExprPtr first, ParseNot());
+  if (!CheckKeyword("AND")) return first;
+  std::vector<ExprPtr> children = {std::move(first)};
+  while (MatchKeyword("AND")) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr next, ParseNot());
+    children.push_back(std::move(next));
+  }
+  return Expr::MakeAnd(std::move(children));
+}
+
+StatusOr<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return Expr::MakeNot(std::move(inner));
+  }
+  return ParsePredicate();
+}
+
+StatusOr<ExprPtr> Parser::ParsePredicate() {
+  ERQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  // IS [NOT] NULL
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    ERQ_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    return Expr::MakeIsNull(std::move(lhs), negated);
+  }
+
+  // [NOT] BETWEEN / IN / LIKE
+  bool negated = false;
+  if (CheckKeyword("NOT") &&
+      (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+       Peek(1).IsKeyword("LIKE"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("LIKE")) {
+    if (Peek().type != TokenType::kStringLiteral) {
+      return ErrorHere("expected pattern string after LIKE");
+    }
+    ExprPtr pattern = Expr::MakeLiteral(Value::String(Advance().text));
+    return Expr::MakeLike(std::move(lhs), std::move(pattern), negated);
+  }
+  if (MatchKeyword("BETWEEN")) {
+    ERQ_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    ERQ_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    ERQ_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    return Expr::MakeBetween(std::move(lhs), std::move(lo), std::move(hi),
+                             negated);
+  }
+  if (MatchKeyword("IN")) {
+    ERQ_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (CheckKeyword("SELECT") || Peek().type == TokenType::kLParen) {
+      // IN (SELECT ...): rewritten to a semi-join by the planner.
+      if (negated) {
+        return ErrorHere("NOT IN (subquery) is not supported");
+      }
+      if (current_subqueries_ == nullptr) {
+        return ErrorHere(
+            "IN (subquery) is only supported in a WHERE clause");
+      }
+      ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> sub, ParseQuery());
+      ERQ_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      InSubquery entry;
+      entry.operand = std::move(lhs);
+      entry.query = std::move(sub);
+      size_t index = current_subqueries_->size();
+      current_subqueries_->push_back(std::move(entry));
+      return Expr::MakeColumnRef("", SubqueryMarkerName(index));
+    }
+    std::vector<ExprPtr> list;
+    do {
+      ERQ_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+      list.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+    ERQ_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return Expr::MakeInList(std::move(lhs), std::move(list), negated);
+  }
+  if (negated) return ErrorHere("expected BETWEEN, IN, or LIKE after NOT");
+
+  // Comparison.
+  CompareOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = CompareOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = CompareOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = CompareOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = CompareOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = CompareOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = CompareOp::kGe;
+      break;
+    default:
+      return lhs;  // bare scalar (boolean context resolves later)
+  }
+  Advance();
+  ERQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+  return Expr::MakeCompare(op, std::move(lhs), std::move(rhs));
+}
+
+StatusOr<ExprPtr> Parser::ParseAdditive() {
+  ERQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+  while (Peek().type == TokenType::kPlus || Peek().type == TokenType::kMinus) {
+    ArithOp op = Peek().type == TokenType::kPlus ? ArithOp::kAdd : ArithOp::kSub;
+    Advance();
+    ERQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+    lhs = Expr::MakeArith(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> Parser::ParseTerm() {
+  ERQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+  while (Peek().type == TokenType::kStar || Peek().type == TokenType::kSlash) {
+    ArithOp op = Peek().type == TokenType::kStar ? ArithOp::kMul : ArithOp::kDiv;
+    Advance();
+    ERQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+    lhs = Expr::MakeArith(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> Parser::ParseFactor() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kIntLiteral: {
+      int64_t v = tok.int_value;
+      Advance();
+      return Expr::MakeLiteral(Value::Int(v));
+    }
+    case TokenType::kDoubleLiteral: {
+      double v = tok.double_value;
+      Advance();
+      return Expr::MakeLiteral(Value::Double(v));
+    }
+    case TokenType::kStringLiteral: {
+      std::string s = tok.text;
+      Advance();
+      return Expr::MakeLiteral(Value::String(std::move(s)));
+    }
+    case TokenType::kMinus: {
+      Advance();
+      ERQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseFactor());
+      if (inner->kind() == Expr::Kind::kLiteral) {
+        const Value& v = inner->value();
+        if (v.type() == DataType::kInt64) {
+          return Expr::MakeLiteral(Value::Int(-v.AsInt()));
+        }
+        if (v.type() == DataType::kDouble) {
+          return Expr::MakeLiteral(Value::Double(-v.AsDouble()));
+        }
+      }
+      return Expr::MakeArith(ArithOp::kSub,
+                             Expr::MakeLiteral(Value::Int(0)),
+                             std::move(inner));
+    }
+    case TokenType::kPlus:
+      Advance();
+      return ParseFactor();
+    case TokenType::kLParen: {
+      Advance();
+      ERQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      ERQ_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    case TokenType::kKeyword: {
+      if (tok.IsKeyword("DATE")) {
+        Advance();
+        if (Peek().type != TokenType::kStringLiteral) {
+          return ErrorHere("expected date string after DATE");
+        }
+        ERQ_ASSIGN_OR_RETURN(int32_t days, DateFromString(Peek().text));
+        Advance();
+        return Expr::MakeLiteral(Value::Date(days));
+      }
+      if (tok.IsKeyword("NULL")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Null());
+      }
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      std::string first = tok.text;
+      Advance();
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected column name after '.'");
+        }
+        std::string column = Advance().text;
+        return Expr::MakeColumnRef(std::move(first), std::move(column));
+      }
+      return Expr::MakeColumnRef("", std::move(first));
+    }
+    default:
+      return ErrorHere("expected expression");
+  }
+}
+
+}  // namespace erq

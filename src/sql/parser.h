@@ -1,0 +1,76 @@
+#ifndef ERQ_SQL_PARSER_H_
+#define ERQ_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace erq {
+
+/// Recursive-descent parser for the SQL dialect the engine executes:
+///
+///   query        := block ((UNION | EXCEPT) [ALL] block)*
+///   block        := select | '(' query ')'
+///   select       := SELECT [DISTINCT] select_list FROM from_clause
+///                   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+///                   [ORDER BY order_list]
+///   from_clause  := from_item (',' from_item)*
+///   from_item    := table_ref (join_suffix)*
+///   join_suffix  := [INNER] JOIN table_ref ON expr
+///                 | CROSS JOIN table_ref
+///                 | LEFT [OUTER] JOIN table_ref ON expr
+///   table_ref    := ident [[AS] ident]
+///
+/// Inner/cross joins are desugared into the FROM list plus WHERE conjuncts
+/// (the logical form §2 works with); LEFT OUTER JOIN is kept structured.
+/// Expressions support OR/AND/NOT, comparisons, BETWEEN, [NOT] IN (list),
+/// IS [NOT] NULL, + - * /, column refs, and INT/DOUBLE/STRING/DATE/NULL
+/// literals.
+class Parser {
+ public:
+  /// Parses one statement (optionally ';'-terminated).
+  static StatusOr<std::unique_ptr<Statement>> Parse(const std::string& sql);
+
+  /// Parses a standalone boolean expression (used by tests and tools).
+  static StatusOr<ExprPtr> ParseExpression(const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(const char* kw);
+  bool CheckKeyword(const char* kw) const;
+  Status ExpectKeyword(const char* kw);
+  bool Match(TokenType t);
+  Status Expect(TokenType t, const char* what);
+  Status ErrorHere(const std::string& message) const;
+
+  StatusOr<std::unique_ptr<Statement>> ParseQuery();
+  StatusOr<std::unique_ptr<Statement>> ParseBlock();
+  StatusOr<std::unique_ptr<SelectStatement>> ParseSelect();
+  StatusOr<TableRef> ParseTableRef();
+  StatusOr<SelectItem> ParseSelectItem();
+
+  StatusOr<ExprPtr> ParseExpr();        // OR level
+  StatusOr<ExprPtr> ParseAnd();
+  StatusOr<ExprPtr> ParseNot();
+  StatusOr<ExprPtr> ParsePredicate();
+  StatusOr<ExprPtr> ParseAdditive();
+  StatusOr<ExprPtr> ParseTerm();
+  StatusOr<ExprPtr> ParseFactor();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  /// Sink for IN (SELECT ...) predicates while parsing a WHERE clause;
+  /// null elsewhere (subqueries are rejected outside WHERE).
+  std::vector<InSubquery>* current_subqueries_ = nullptr;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_SQL_PARSER_H_

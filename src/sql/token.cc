@@ -1,0 +1,47 @@
+#include "sql/token.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace erq {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kEof:
+      return "<eof>";
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kKeyword:
+      return "keyword " + text;
+    case TokenType::kIntLiteral:
+      return "integer " + std::to_string(int_value);
+    case TokenType::kDoubleLiteral:
+      return "double " + std::to_string(double_value);
+    case TokenType::kStringLiteral:
+      return "string '" + text + "'";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+bool IsReservedKeyword(const std::string& word) {
+  static const std::array<const char*, 31> kKeywords = {
+      "SELECT", "FROM",  "WHERE",  "AND",   "OR",     "NOT",   "BETWEEN",
+      "IN",     "AS",    "JOIN",   "INNER", "LEFT",   "RIGHT", "FULL",
+      "OUTER",  "ON",    "ORDER",  "BY",    "GROUP",  "HAVING", "DISTINCT",
+      "UNION",  "EXCEPT", "ALL",   "ASC",   "DESC",   "DATE",  "IS",
+      "NULL",   "LIKE",  "CROSS",
+  };
+  std::string upper = ToUpper(word);
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace erq

@@ -1,0 +1,48 @@
+#ifndef ERQ_SQL_TOKEN_H_
+#define ERQ_SQL_TOKEN_H_
+
+#include <string>
+
+namespace erq {
+
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,   // table / column names
+  kKeyword,      // normalized to upper case in `text`
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // text holds the unquoted content
+  // punctuation / operators
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,    // =
+  kNe,    // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // raw text (keywords upper-cased, strings unquoted)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  std::string ToString() const;
+};
+
+/// True if `word` (case-insensitive) is a reserved SQL keyword.
+bool IsReservedKeyword(const std::string& word);
+
+}  // namespace erq
+
+#endif  // ERQ_SQL_TOKEN_H_

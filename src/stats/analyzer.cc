@@ -1,0 +1,79 @@
+#include "stats/analyzer.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace erq {
+
+std::string StatsCatalog::ColumnKey(const std::string& table,
+                                    const std::string& column) const {
+  return ToLower(table) + "." + ToLower(column);
+}
+
+Status StatsCatalog::AnalyzeTable(const Catalog& catalog,
+                                  const std::string& table_name) {
+  ERQ_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(table_name));
+  const Schema& schema = table->schema();
+  row_counts_[ToLower(table_name)] = table->num_rows();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats stats;
+    stats.row_count = table->num_rows();
+    std::vector<Value> non_null;
+    non_null.reserve(table->num_rows());
+    std::unordered_set<size_t> distinct_hashes;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      const Value& v = table->row(r)[c];
+      if (v.is_null()) {
+        ++stats.null_count;
+        continue;
+      }
+      if (!stats.min.has_value() || v < *stats.min) stats.min = v;
+      if (!stats.max.has_value() || v > *stats.max) stats.max = v;
+      distinct_hashes.insert(v.Hash());
+      non_null.push_back(v);
+    }
+    stats.ndv = static_cast<double>(distinct_hashes.size());
+    stats.histogram =
+        EquiDepthHistogram::Build(std::move(non_null), histogram_buckets_);
+    column_stats_[ColumnKey(table_name, schema.column(c).name)] =
+        std::move(stats);
+  }
+  return Status::OK();
+}
+
+Status StatsCatalog::AnalyzeAll(const Catalog& catalog) {
+  for (const std::string& name : catalog.TableNames()) {
+    ERQ_RETURN_IF_ERROR(AnalyzeTable(catalog, name));
+  }
+  return Status::OK();
+}
+
+const ColumnStats* StatsCatalog::GetColumnStats(
+    const std::string& table_name, const std::string& column_name) const {
+  auto it = column_stats_.find(ColumnKey(table_name, column_name));
+  return it == column_stats_.end() ? nullptr : &it->second;
+}
+
+size_t StatsCatalog::GetRowCount(const std::string& table_name) const {
+  auto it = row_counts_.find(ToLower(table_name));
+  return it == row_counts_.end() ? 0 : it->second;
+}
+
+bool StatsCatalog::HasTableStats(const std::string& table_name) const {
+  return row_counts_.count(ToLower(table_name)) > 0;
+}
+
+void StatsCatalog::Invalidate(const std::string& table_name) {
+  std::string prefix = ToLower(table_name) + ".";
+  for (auto it = column_stats_.begin(); it != column_stats_.end();) {
+    if (StartsWith(it->first, prefix)) {
+      it = column_stats_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  row_counts_.erase(ToLower(table_name));
+}
+
+}  // namespace erq

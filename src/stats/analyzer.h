@@ -1,0 +1,50 @@
+#ifndef ERQ_STATS_ANALYZER_H_
+#define ERQ_STATS_ANALYZER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "catalog/catalog.h"
+#include "stats/column_stats.h"
+
+namespace erq {
+
+/// Database-wide statistics store, the analogue of running PostgreSQL's
+/// statistics collection program before the experiments (§3.1). Call
+/// AnalyzeAll() (or AnalyzeTable) after loading data; the cost model reads
+/// the snapshot through GetColumnStats()/GetRowCount().
+class StatsCatalog {
+ public:
+  explicit StatsCatalog(size_t histogram_buckets = 64)
+      : histogram_buckets_(histogram_buckets) {}
+
+  /// Scans one table and (re)builds stats for all its columns.
+  Status AnalyzeTable(const Catalog& catalog, const std::string& table_name);
+
+  /// Analyzes every table in the catalog.
+  Status AnalyzeAll(const Catalog& catalog);
+
+  /// Stats for table.column, or nullptr if not analyzed.
+  const ColumnStats* GetColumnStats(const std::string& table_name,
+                                    const std::string& column_name) const;
+
+  /// Analyzed row count; falls back to 0 when unknown.
+  size_t GetRowCount(const std::string& table_name) const;
+
+  bool HasTableStats(const std::string& table_name) const;
+
+  /// Drops stats for one table (e.g. after updates).
+  void Invalidate(const std::string& table_name);
+
+ private:
+  std::string ColumnKey(const std::string& table, const std::string& column) const;
+
+  size_t histogram_buckets_;
+  std::unordered_map<std::string, ColumnStats> column_stats_;
+  std::unordered_map<std::string, size_t> row_counts_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_STATS_ANALYZER_H_

@@ -1,0 +1,48 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+
+namespace erq {
+
+double ColumnStats::EqualsSelectivity(const Value& v) const {
+  if (row_count == 0) return 0.0;
+  if (min.has_value() && v < *min) return 0.0;
+  if (max.has_value() && v > *max) return 0.0;
+  double non_null = 1.0 - null_fraction();
+  if (!histogram.empty()) {
+    return non_null * histogram.FractionEqual(v, ndv);
+  }
+  return ndv > 0 ? non_null / ndv : non_null;
+}
+
+double ColumnStats::RangeSelectivity(const std::optional<Value>& lo,
+                                     bool lo_inclusive,
+                                     const std::optional<Value>& hi,
+                                     bool hi_inclusive) const {
+  if (row_count == 0) return 0.0;
+  double non_null = 1.0 - null_fraction();
+  if (!histogram.empty()) {
+    return non_null *
+           histogram.FractionInRange(lo, lo_inclusive, hi, hi_inclusive, ndv);
+  }
+  // No histogram: fall back to the classic default selectivities.
+  bool bounded_both = lo.has_value() && hi.has_value();
+  return non_null * (bounded_both ? 0.25 : 0.33);
+}
+
+double ColumnStats::NotEqualsSelectivity(const Value& v) const {
+  double eq = EqualsSelectivity(v);
+  double non_null = 1.0 - null_fraction();
+  return std::max(0.0, non_null - eq);
+}
+
+std::string ColumnStats::ToString() const {
+  std::string out = "rows=" + std::to_string(row_count) +
+                    " nulls=" + std::to_string(null_count) +
+                    " ndv=" + std::to_string(ndv);
+  if (min.has_value()) out += " min=" + min->ToString();
+  if (max.has_value()) out += " max=" + max->ToString();
+  return out;
+}
+
+}  // namespace erq

@@ -1,0 +1,44 @@
+#ifndef ERQ_STATS_COLUMN_STATS_H_
+#define ERQ_STATS_COLUMN_STATS_H_
+
+#include <optional>
+#include <string>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace erq {
+
+/// Per-column statistics produced by the Analyzer: row/null counts,
+/// min/max, number of distinct values, and an equi-depth histogram.
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  double ndv = 0.0;  // number of distinct (non-null) values
+  std::optional<Value> min;
+  std::optional<Value> max;
+  EquiDepthHistogram histogram;
+
+  double null_fraction() const {
+    return row_count == 0
+               ? 0.0
+               : static_cast<double>(null_count) / static_cast<double>(row_count);
+  }
+
+  /// Estimated selectivity of `col = v`.
+  double EqualsSelectivity(const Value& v) const;
+
+  /// Estimated selectivity of an interval predicate on this column.
+  double RangeSelectivity(const std::optional<Value>& lo, bool lo_inclusive,
+                          const std::optional<Value>& hi,
+                          bool hi_inclusive) const;
+
+  /// Estimated selectivity of `col != v`.
+  double NotEqualsSelectivity(const Value& v) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_STATS_COLUMN_STATS_H_

@@ -1,0 +1,105 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erq {
+
+namespace {
+
+/// Linear interpolation position of `v` within [lo, hi]; 0 when the bucket
+/// has zero width or the values are not numeric/date.
+double Interpolate(const Value& lo, const Value& hi, const Value& v) {
+  auto numeric = [](const Value& x) -> std::optional<double> {
+    switch (x.type()) {
+      case DataType::kInt64:
+      case DataType::kDouble:
+        return x.AsDouble();
+      case DataType::kDate:
+        return static_cast<double>(x.AsDate());
+      default:
+        return std::nullopt;
+    }
+  };
+  auto lo_n = numeric(lo), hi_n = numeric(hi), v_n = numeric(v);
+  if (!lo_n || !hi_n || !v_n || *hi_n <= *lo_n) return 0.0;
+  double frac = (*v_n - *lo_n) / (*hi_n - *lo_n);
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+}  // namespace
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<Value> values,
+                                             size_t num_buckets) {
+  EquiDepthHistogram h;
+  h.total_rows_ = values.size();
+  if (values.empty() || num_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  num_buckets = std::min(num_buckets, values.size());
+  h.boundaries_.reserve(num_buckets + 1);
+  h.boundaries_.push_back(values.front());
+  for (size_t b = 1; b < num_buckets; ++b) {
+    size_t idx = b * values.size() / num_buckets;
+    h.boundaries_.push_back(values[idx]);
+  }
+  h.boundaries_.push_back(values.back());
+  return h;
+}
+
+double EquiDepthHistogram::FractionBelow(const Value& v) const {
+  if (boundaries_.empty()) return 0.0;
+  if (v <= boundaries_.front()) return 0.0;
+  if (v > boundaries_.back()) return 1.0;
+  size_t buckets = num_buckets();
+  double per_bucket = 1.0 / static_cast<double>(buckets);
+  // Find bucket containing v.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  size_t bucket = static_cast<size_t>(it - boundaries_.begin());
+  if (bucket == 0) return 0.0;
+  if (bucket > buckets) return 1.0;
+  // v lies in (boundaries_[bucket-1], boundaries_[bucket]].
+  double before = (bucket - 1) * per_bucket;
+  double within =
+      Interpolate(boundaries_[bucket - 1], boundaries_[bucket], v);
+  return before + within * per_bucket;
+}
+
+double EquiDepthHistogram::FractionEqual(const Value& v, double ndv) const {
+  if (boundaries_.empty()) return 0.0;
+  if (v < boundaries_.front() || v > boundaries_.back()) return 0.0;
+  if (ndv <= 1.0) return 1.0;
+  return 1.0 / ndv;
+}
+
+double EquiDepthHistogram::FractionInRange(const std::optional<Value>& lo,
+                                           bool lo_inclusive,
+                                           const std::optional<Value>& hi,
+                                           bool hi_inclusive,
+                                           double ndv) const {
+  if (boundaries_.empty()) return 0.0;
+  double eq = ndv > 1.0 ? 1.0 / ndv : 1.0;
+  double lo_frac = 0.0;
+  if (lo.has_value()) {
+    lo_frac = FractionBelow(*lo);
+    if (!lo_inclusive) lo_frac += eq;  // exclude the point itself
+  }
+  double hi_frac = 1.0;
+  if (hi.has_value()) {
+    hi_frac = FractionBelow(*hi);
+    if (hi_inclusive) hi_frac += eq;  // include the point itself
+  }
+  double frac = hi_frac - lo_frac;
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = "hist[";
+  for (size_t i = 0; i < boundaries_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += boundaries_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace erq

@@ -1,0 +1,51 @@
+#ifndef ERQ_STATS_HISTOGRAM_H_
+#define ERQ_STATS_HISTOGRAM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace erq {
+
+/// Equi-depth histogram over one column, in the style of the statistics
+/// PostgreSQL's ANALYZE collects. Bucket boundaries are column values;
+/// bucket i covers (boundary[i], boundary[i+1]] with ~rows/buckets rows.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from non-null values (consumed; need not be sorted).
+  static EquiDepthHistogram Build(std::vector<Value> values,
+                                  size_t num_buckets);
+
+  /// Estimated fraction of non-null rows with value < v (strict).
+  double FractionBelow(const Value& v) const;
+
+  /// Estimated fraction of non-null rows equal to v, assuming `ndv`
+  /// distinct values uniformly spread within buckets.
+  double FractionEqual(const Value& v, double ndv) const;
+
+  /// Estimated fraction within the interval defined by the optional bounds.
+  double FractionInRange(const std::optional<Value>& lo, bool lo_inclusive,
+                         const std::optional<Value>& hi, bool hi_inclusive,
+                         double ndv) const;
+
+  bool empty() const { return boundaries_.empty(); }
+  size_t num_buckets() const {
+    return boundaries_.empty() ? 0 : boundaries_.size() - 1;
+  }
+  const std::vector<Value>& boundaries() const { return boundaries_; }
+
+  std::string ToString() const;
+
+ private:
+  // boundaries_[0] = min, boundaries_.back() = max.
+  std::vector<Value> boundaries_;
+  size_t total_rows_ = 0;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_STATS_HISTOGRAM_H_

@@ -1,0 +1,44 @@
+#ifndef ERQ_TYPES_DATA_TYPE_H_
+#define ERQ_TYPES_DATA_TYPE_H_
+
+namespace erq {
+
+/// Column / value types supported by the engine. kDate is stored as days
+/// since 1970-01-01 but compares and prints as a calendar date.
+enum class DataType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+inline const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+/// True if values of `a` and `b` can be compared with each other.
+/// Numeric types are mutually comparable; otherwise types must match.
+inline bool TypesComparable(DataType a, DataType b) {
+  if (a == b) return true;
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+}  // namespace erq
+
+#endif  // ERQ_TYPES_DATA_TYPE_H_

@@ -1,0 +1,31 @@
+#ifndef ERQ_TYPES_DATE_H_
+#define ERQ_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace erq {
+
+/// Calendar-date helpers. Dates are represented as int32 days since the
+/// epoch 1970-01-01 (proleptic Gregorian).
+
+/// Converts a calendar date to days-since-epoch. Validates ranges.
+StatusOr<int32_t> DateFromYmd(int year, int month, int day);
+
+/// Parses "YYYY-MM-DD".
+StatusOr<int32_t> DateFromString(const std::string& s);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string DateToString(int32_t days);
+
+/// Decomposes days-since-epoch into calendar fields.
+void DateToYmd(int32_t days, int* year, int* month, int* day);
+
+/// True for leap years in the proleptic Gregorian calendar.
+bool IsLeapYear(int year);
+
+}  // namespace erq
+
+#endif  // ERQ_TYPES_DATE_H_

@@ -1,0 +1,29 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace erq {
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += DataTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace erq

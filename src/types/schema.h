@@ -1,0 +1,54 @@
+#ifndef ERQ_TYPES_SCHEMA_H_
+#define ERQ_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "types/data_type.h"
+
+namespace erq {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of columns. Column names are unique within a schema
+/// (enforced at table-creation time by the catalog).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of `name` (case-insensitive) or NotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a column with `name` exists (case-insensitive).
+  bool Contains(const std::string& name) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// "name TYPE, name TYPE, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_TYPES_SCHEMA_H_

@@ -1,0 +1,96 @@
+#include "types/value.h"
+
+#include <functional>
+
+#include "common/hash.h"
+#include "types/date.h"
+
+namespace erq {
+
+namespace {
+
+int CompareDouble(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (type_ == other.type_) {
+    switch (type_) {
+      case DataType::kNull:
+        return 0;
+      case DataType::kInt64:
+      case DataType::kDate: {
+        int64_t a = std::get<int64_t>(data_);
+        int64_t b = std::get<int64_t>(other.data_);
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      case DataType::kDouble:
+        return CompareDouble(std::get<double>(data_),
+                             std::get<double>(other.data_));
+      case DataType::kString:
+        return AsString().compare(other.AsString());
+    }
+  }
+  // NULL sorts before everything.
+  if (type_ == DataType::kNull) return -1;
+  if (other.type_ == DataType::kNull) return 1;
+  if (ComparableWith(other)) {
+    return CompareDouble(AsDouble(), other.AsDouble());
+  }
+  // Fallback total order by type tag.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type_);
+  switch (type_) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt64:
+    case DataType::kDate:
+      // Hash INT and DOUBLE holding the same numeric value identically so
+      // hash joins across the two types behave like Compare().
+      seed = 0;
+      HashCombine(&seed, AsDouble());
+      if (type_ == DataType::kDate) HashCombine(&seed, 17);
+      break;
+    case DataType::kDouble:
+      seed = 0;
+      HashCombine(&seed, std::get<double>(data_));
+      break;
+    case DataType::kString:
+      HashCombine(&seed, AsString());
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case DataType::kDouble: {
+      std::string s = std::to_string(std::get<double>(data_));
+      return s;
+    }
+    case DataType::kString:
+      return "'" + AsString() + "'";
+    case DataType::kDate:
+      return "DATE '" + DateToString(AsDate()) + "'";
+  }
+  return "?";
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t seed = row.size();
+  for (const Value& v : row) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+}  // namespace erq

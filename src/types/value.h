@@ -1,0 +1,111 @@
+#ifndef ERQ_TYPES_VALUE_H_
+#define ERQ_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/statusor.h"
+#include "types/data_type.h"
+
+namespace erq {
+
+/// A dynamically typed scalar: NULL, INT (int64), DOUBLE, STRING, or DATE.
+/// Values are ordered within comparable types; INT and DOUBLE compare
+/// numerically with each other. Comparing incomparable types is an error the
+/// binder rejects earlier; the raw Compare() falls back to type-tag order so
+/// containers stay usable.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = DataType::kInt64;
+    out.data_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = DataType::kDouble;
+    out.data_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = DataType::kString;
+    out.data_ = std::move(v);
+    return out;
+  }
+  /// `days` is days since 1970-01-01.
+  static Value Date(int32_t days) {
+    Value out;
+    out.type_ = DataType::kDate;
+    out.data_ = static_cast<int64_t>(days);
+    return out;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  /// Numeric view: INT and DATE widen to double; only DOUBLE reads the
+  /// double alternative directly.
+  double AsDouble() const {
+    if (type_ == DataType::kInt64 || type_ == DataType::kDate) {
+      return static_cast<double>(std::get<int64_t>(data_));
+    }
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  int32_t AsDate() const { return static_cast<int32_t>(std::get<int64_t>(data_)); }
+
+  /// Three-way comparison: negative / zero / positive. NULL sorts first.
+  /// INT and DOUBLE compare numerically; otherwise mismatched types compare
+  /// by type tag (total order for container use).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// True if this and `other` have comparable types (see TypesComparable).
+  bool ComparableWith(const Value& other) const {
+    return TypesComparable(type_, other.type_);
+  }
+
+  size_t Hash() const;
+
+  /// SQL-literal rendering: strings quoted, dates as DATE 'YYYY-MM-DD'.
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// A tuple of values; schema lives alongside (see Schema).
+using Row = std::vector<Value>;
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_TYPES_VALUE_H_

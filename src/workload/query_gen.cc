@@ -1,0 +1,157 @@
+#include "workload/query_gen.h"
+
+#include "types/date.h"
+
+namespace erq {
+
+namespace {
+
+std::string DateDisjunction(const std::string& col,
+                            const std::vector<int32_t>& dates) {
+  std::string out = "(";
+  for (size_t i = 0; i < dates.size(); ++i) {
+    if (i > 0) out += " or ";
+    out += col + " = DATE '" + DateToString(dates[i]) + "'";
+  }
+  return out + ")";
+}
+
+std::string IntDisjunction(const std::string& col,
+                           const std::vector<int64_t>& values) {
+  std::string out = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += " or ";
+    out += col + " = " + std::to_string(values[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string Q1Spec::ToSql() const {
+  return "select * from orders o, lineitem l where o.orderkey = l.orderkey "
+         "and " +
+         DateDisjunction("o.orderdate", dates) + " and " +
+         IntDisjunction("l.partkey", parts);
+}
+
+std::string Q2Spec::ToSql() const {
+  return "select * from orders o, lineitem l, customer c "
+         "where o.orderkey = l.orderkey and o.custkey = c.custkey and " +
+         DateDisjunction("o.orderdate", dates) + " and " +
+         IntDisjunction("l.partkey", parts) + " and " +
+         IntDisjunction("c.nationkey", nations);
+}
+
+int32_t QueryGenerator::RandomDate() {
+  std::uniform_int_distribution<size_t> d(0,
+                                          instance_->present_dates.size() - 1);
+  return instance_->present_dates[d(rng_)];
+}
+
+int64_t QueryGenerator::RandomPart() {
+  std::uniform_int_distribution<size_t> d(0,
+                                          instance_->present_parts.size() - 1);
+  return instance_->present_parts[d(rng_)];
+}
+
+int64_t QueryGenerator::RandomNation() {
+  std::uniform_int_distribution<size_t> d(
+      0, instance_->present_nations.size() - 1);
+  return instance_->present_nations[d(rng_)];
+}
+
+Q1Spec QueryGenerator::GenerateQ1(size_t e, size_t f, bool want_empty) {
+  // Rejection-sample value sets until the emptiness requirement holds.
+  // By construction the tables contain every sampled value, so the
+  // "minimal zero result is the whole query" property holds for empty
+  // instances.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Q1Spec spec;
+    for (size_t i = 0; i < e; ++i) spec.dates.push_back(RandomDate());
+    for (size_t j = 0; j < f; ++j) spec.parts.push_back(RandomPart());
+    bool any_pair = false;
+    for (int32_t d : spec.dates) {
+      for (int64_t p : spec.parts) {
+        if (instance_->PairPresent(d, p)) {
+          any_pair = true;
+          break;
+        }
+      }
+      if (any_pair) break;
+    }
+    if (want_empty && !any_pair) return spec;
+    if (!want_empty && any_pair) return spec;
+    if (!want_empty) {
+      // Force a present pair: take it from an existing lineitem row.
+      // Order keys are assigned sequentially, so lineitem row j belongs to
+      // the order at row (orderkey) of `orders`.
+      std::uniform_int_distribution<size_t> d(
+          0, instance_->lineitem->num_rows() - 1);
+      const Row& li = instance_->lineitem->row(d(rng_));
+      int64_t orderkey = li[0].AsInt();
+      spec.parts.back() = li[1].AsInt();
+      spec.dates.back() =
+          instance_->orders->row(static_cast<size_t>(orderkey))[2].AsDate();
+      return spec;
+    }
+  }
+  // Extremely dense data: fall back to a value outside every domain (the
+  // query is then empty, though not "minimal" in the paper's sense).
+  Q1Spec spec;
+  for (size_t i = 0; i < e; ++i) spec.dates.push_back(RandomDate());
+  for (size_t j = 0; j < f; ++j) {
+    spec.parts.push_back(instance_->config.num_parts + 1 +
+                         static_cast<int64_t>(j));
+  }
+  return spec;
+}
+
+Q2Spec QueryGenerator::GenerateQ2(size_t e, size_t f, size_t g,
+                                  bool want_empty) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Q2Spec spec;
+    for (size_t i = 0; i < e; ++i) spec.dates.push_back(RandomDate());
+    for (size_t j = 0; j < f; ++j) spec.parts.push_back(RandomPart());
+    for (size_t k = 0; k < g; ++k) spec.nations.push_back(RandomNation());
+    bool any_triple = false;
+    for (int32_t d : spec.dates) {
+      for (int64_t p : spec.parts) {
+        for (int64_t n : spec.nations) {
+          if (instance_->TriplePresent(d, p, n)) {
+            any_triple = true;
+            break;
+          }
+        }
+        if (any_triple) break;
+      }
+      if (any_triple) break;
+    }
+    if (want_empty && !any_triple) return spec;
+    if (!want_empty && any_triple) return spec;
+    if (!want_empty) {
+      // Force a present triple from an existing lineitem row.
+      std::uniform_int_distribution<size_t> d(
+          0, instance_->lineitem->num_rows() - 1);
+      const Row& li = instance_->lineitem->row(d(rng_));
+      int64_t orderkey = li[0].AsInt();
+      const Row& order = instance_->orders->row(static_cast<size_t>(orderkey));
+      spec.parts.back() = li[1].AsInt();
+      spec.dates.back() = order[2].AsDate();
+      int64_t custkey = order[1].AsInt();
+      spec.nations.back() =
+          instance_->customer->row(static_cast<size_t>(custkey))[1].AsInt();
+      return spec;
+    }
+  }
+  Q2Spec spec;
+  for (size_t i = 0; i < e; ++i) spec.dates.push_back(RandomDate());
+  for (size_t j = 0; j < f; ++j) {
+    spec.parts.push_back(instance_->config.num_parts + 1 +
+                         static_cast<int64_t>(j));
+  }
+  for (size_t k = 0; k < g; ++k) spec.nations.push_back(RandomNation());
+  return spec;
+}
+
+}  // namespace erq

@@ -1,0 +1,63 @@
+#ifndef ERQ_WORKLOAD_QUERY_GEN_H_
+#define ERQ_WORKLOAD_QUERY_GEN_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "workload/tpcr.h"
+
+namespace erq {
+
+/// Parameters of the paper's Query Q1 (§3.1):
+///   select * from orders o, lineitem l
+///   where o.orderkey = l.orderkey
+///     and (o.orderdate = d1 or ... or o.orderdate = de)
+///     and (l.partkey   = p1 or ... or l.partkey   = pf);
+/// Combination factor F = e * f.
+struct Q1Spec {
+  std::vector<int32_t> dates;   // e values (days since epoch)
+  std::vector<int64_t> parts;   // f values
+  size_t CombinationFactor() const { return dates.size() * parts.size(); }
+  std::string ToSql() const;
+};
+
+/// Parameters of Query Q2 (adds customer and a nationkey disjunction);
+/// F = e * f * g.
+struct Q2Spec {
+  std::vector<int32_t> dates;
+  std::vector<int64_t> parts;
+  std::vector<int64_t> nations;
+  size_t CombinationFactor() const {
+    return dates.size() * parts.size() * nations.size();
+  }
+  std::string ToSql() const;
+};
+
+/// Generates paper-faithful Q1/Q2 instances. Empty instances satisfy the
+/// paper's property that the minimal zero result is the query itself:
+/// every individual selection value occurs in its relation, and for Q1
+/// every (date, part) combination is absent from the join (for Q2 every
+/// (date, part, nation) triple).
+class QueryGenerator {
+ public:
+  QueryGenerator(const TpcrInstance* instance, uint64_t seed)
+      : instance_(instance), rng_(seed) {}
+
+  /// `want_empty` controls whether the result set must be empty or must
+  /// contain at least one row.
+  Q1Spec GenerateQ1(size_t e, size_t f, bool want_empty);
+  Q2Spec GenerateQ2(size_t e, size_t f, size_t g, bool want_empty);
+
+ private:
+  int32_t RandomDate();
+  int64_t RandomPart();
+  int64_t RandomNation();
+
+  const TpcrInstance* instance_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace erq
+
+#endif  // ERQ_WORKLOAD_QUERY_GEN_H_

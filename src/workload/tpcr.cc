@@ -1,0 +1,131 @@
+#include "workload/tpcr.h"
+
+#include <algorithm>
+#include <random>
+
+#include "types/date.h"
+
+namespace erq {
+
+StatusOr<TpcrInstance> BuildTpcr(Catalog* catalog, const TpcrConfig& config) {
+  TpcrInstance inst;
+  inst.config = config;
+  ERQ_ASSIGN_OR_RETURN(inst.first_date,
+                       DateFromYmd(config.date_start_year, 1, 1));
+
+  ERQ_ASSIGN_OR_RETURN(
+      inst.customer,
+      catalog->CreateTable("customer",
+                           Schema({{"custkey", DataType::kInt64},
+                                   {"nationkey", DataType::kInt64},
+                                   {"name", DataType::kString},
+                                   {"acctbal", DataType::kDouble}})));
+  ERQ_ASSIGN_OR_RETURN(
+      inst.orders,
+      catalog->CreateTable("orders",
+                           Schema({{"orderkey", DataType::kInt64},
+                                   {"custkey", DataType::kInt64},
+                                   {"orderdate", DataType::kDate},
+                                   {"totalprice", DataType::kDouble}})));
+  ERQ_ASSIGN_OR_RETURN(
+      inst.lineitem,
+      catalog->CreateTable("lineitem",
+                           Schema({{"orderkey", DataType::kInt64},
+                                   {"partkey", DataType::kInt64},
+                                   {"quantity", DataType::kInt64},
+                                   {"extendedprice", DataType::kDouble}})));
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_int_distribution<int> nation_dist(0, config.num_nations - 1);
+  std::uniform_int_distribution<int> date_dist(0, config.num_days - 1);
+  std::uniform_int_distribution<int64_t> part_dist(0, config.num_parts - 1);
+  std::uniform_int_distribution<int> quantity_dist(1, 50);
+  std::uniform_real_distribution<double> price_dist(1.0, 10000.0);
+
+  const size_t num_customers = static_cast<size_t>(
+      static_cast<double>(config.customers_per_unit) * config.scale);
+  const size_t orders_per_customer = 10;  // paper's match ratio
+  const size_t lineitems_per_order = 4;   // paper's match ratio
+
+  std::unordered_set<int32_t> dates_seen;
+  std::unordered_set<int64_t> parts_seen;
+  std::unordered_set<int64_t> nations_seen;
+
+  inst.customer->Reserve(num_customers);
+  inst.orders->Reserve(num_customers * orders_per_customer);
+  inst.lineitem->Reserve(num_customers * orders_per_customer *
+                         lineitems_per_order);
+
+  std::vector<int64_t> customer_nation(num_customers);
+  for (size_t c = 0; c < num_customers; ++c) {
+    int64_t nation = nation_dist(rng);
+    customer_nation[c] = nation;
+    nations_seen.insert(nation);
+    inst.customer->AppendUnchecked(
+        Row{Value::Int(static_cast<int64_t>(c)), Value::Int(nation),
+            Value::String("Customer#" + std::to_string(c)),
+            Value::Double(price_dist(rng))});
+  }
+
+  int64_t orderkey = 0;
+  for (size_t c = 0; c < num_customers; ++c) {
+    for (size_t o = 0; o < orders_per_customer; ++o) {
+      int32_t date = inst.first_date + date_dist(rng);
+      dates_seen.insert(date);
+      inst.orders->AppendUnchecked(Row{
+          Value::Int(orderkey), Value::Int(static_cast<int64_t>(c)),
+          Value::Date(date), Value::Double(price_dist(rng))});
+      for (size_t l = 0; l < lineitems_per_order; ++l) {
+        int64_t part = part_dist(rng);
+        parts_seen.insert(part);
+        inst.lineitem->AppendUnchecked(
+            Row{Value::Int(orderkey), Value::Int(part),
+                Value::Int(quantity_dist(rng)),
+                Value::Double(price_dist(rng))});
+        inst.date_part_pairs.insert(inst.PairKey(date, part));
+        inst.date_part_nation_triples.insert(
+            inst.TripleKey(date, part, customer_nation[c]));
+      }
+      ++orderkey;
+    }
+  }
+
+  inst.present_dates.assign(dates_seen.begin(), dates_seen.end());
+  std::sort(inst.present_dates.begin(), inst.present_dates.end());
+  inst.present_parts.assign(parts_seen.begin(), parts_seen.end());
+  std::sort(inst.present_parts.begin(), inst.present_parts.end());
+  inst.present_nations.assign(nations_seen.begin(), nations_seen.end());
+  std::sort(inst.present_nations.begin(), inst.present_nations.end());
+  return inst;
+}
+
+Status BuildTpcrIndexes(Catalog* catalog) {
+  // §3.1: "We built an index on each selection or join attribute."
+  for (const auto& [table, column] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"customer", "custkey"},
+           {"customer", "nationkey"},
+           {"orders", "orderkey"},
+           {"orders", "custkey"},
+           {"orders", "orderdate"},
+           {"lineitem", "orderkey"},
+           {"lineitem", "partkey"},
+       }) {
+    ERQ_ASSIGN_OR_RETURN(SortedIndex * idx, catalog->CreateIndex(table, column));
+    (void)idx;
+  }
+  return Status::OK();
+}
+
+DatasetSummary SummarizeDataset(const TpcrInstance& instance) {
+  DatasetSummary out;
+  out.customer_rows = instance.customer->num_rows();
+  out.orders_rows = instance.orders->num_rows();
+  out.lineitem_rows = instance.lineitem->num_rows();
+  out.customer_bytes = instance.customer->EstimatedBytes();
+  out.orders_bytes = instance.orders->EstimatedBytes();
+  out.lineitem_bytes = instance.lineitem->EstimatedBytes();
+  return out;
+}
+
+}  // namespace erq

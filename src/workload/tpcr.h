@@ -1,0 +1,88 @@
+#ifndef ERQ_WORKLOAD_TPCR_H_
+#define ERQ_WORKLOAD_TPCR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/statusor.h"
+#include "catalog/catalog.h"
+#include "stats/analyzer.h"
+
+namespace erq {
+
+/// TPC-R-style test database (§3.1, Table 1):
+///   customer (custkey, nationkey, name, acctbal)
+///   orders   (orderkey, custkey, orderdate, totalprice)
+///   lineitem (orderkey, partkey, quantity, extendedprice)
+/// The paper's cardinalities are 0.15s M / 1.5s M / 6s M rows; we preserve
+/// the 1 : 10 : 40 ratios and the match ratios (each customer matches ~10
+/// orders on custkey, each order 4 lineitems on orderkey) at a configurable
+/// rows-per-scale-unit so benches run in seconds (documented substitution).
+struct TpcrConfig {
+  double scale = 1.0;              // the paper's s
+  size_t customers_per_unit = 1500;  // paper: 150,000 (scaled down 100x)
+  int num_nations = 25;
+  int64_t num_parts = 2000;        // partkey domain [0, num_parts)
+  int date_start_year = 1992;      // orderdate domain start
+  int num_days = 2406;             // ~1992-01-01 .. 1998-08-02
+  uint64_t seed = 42;
+};
+
+/// Handles plus co-occurrence indexes used by the query generators to
+/// construct queries that are guaranteed empty (or non-empty) while every
+/// individual selection still matches rows (the paper's "minimal zero
+/// result is Q itself" property).
+struct TpcrInstance {
+  TpcrConfig config;
+  Table* customer = nullptr;
+  Table* orders = nullptr;
+  Table* lineitem = nullptr;
+
+  int32_t first_date = 0;  // days-since-epoch of date_start_year-01-01
+
+  /// Dates (days) on which at least one order exists.
+  std::vector<int32_t> present_dates;
+  /// Partkeys that appear in lineitem.
+  std::vector<int64_t> present_parts;
+  /// Nations that appear in customer.
+  std::vector<int64_t> present_nations;
+
+  /// (date, part) pairs that co-occur: some lineitem of part p belongs to
+  /// an order placed on date d. Key: date * kPairStride + part.
+  std::unordered_set<int64_t> date_part_pairs;
+  /// (date, part, nation) triples that co-occur.
+  std::unordered_set<int64_t> date_part_nation_triples;
+
+  static constexpr int64_t kPairStride = int64_t{1} << 21;
+
+  int64_t PairKey(int32_t date, int64_t part) const {
+    return (date - first_date) * kPairStride + part;
+  }
+  int64_t TripleKey(int32_t date, int64_t part, int64_t nation) const {
+    return ((date - first_date) * kPairStride + part) * 32 + nation;
+  }
+  bool PairPresent(int32_t date, int64_t part) const {
+    return date_part_pairs.count(PairKey(date, part)) > 0;
+  }
+  bool TriplePresent(int32_t date, int64_t part, int64_t nation) const {
+    return date_part_nation_triples.count(TripleKey(date, part, nation)) > 0;
+  }
+};
+
+/// Creates and populates the three tables in `catalog`.
+StatusOr<TpcrInstance> BuildTpcr(Catalog* catalog, const TpcrConfig& config);
+
+/// Builds an index on each selection/join attribute, as in §3.1.
+Status BuildTpcrIndexes(Catalog* catalog);
+
+/// Prints/returns the Table 1 dataset summary row for the instance.
+struct DatasetSummary {
+  size_t customer_rows, orders_rows, lineitem_rows;
+  size_t customer_bytes, orders_bytes, lineitem_bytes;
+};
+DatasetSummary SummarizeDataset(const TpcrInstance& instance);
+
+}  // namespace erq
+
+#endif  // ERQ_WORKLOAD_TPCR_H_

@@ -1,0 +1,111 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace erq {
+
+namespace {
+
+/// Samples from a Zipf(s) distribution over [0, n) via inverse CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) {
+    cdf_.reserve(n);
+    double acc = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), s);
+      cdf_.push_back(acc);
+    }
+    for (double& v : cdf_) v /= acc;
+  }
+
+  size_t Sample(std::mt19937_64& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::vector<TraceQuery> GenerateCrmTrace(const TpcrInstance& instance,
+                                         const TraceConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  QueryGenerator gen(&instance, config.seed * 7919 + 1);
+
+  const size_t total_empty = static_cast<size_t>(
+      static_cast<double>(config.total_queries) * config.empty_fraction);
+  const size_t distinct_empty = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(total_empty) *
+                             config.distinct_empty_fraction));
+
+  std::bernoulli_distribution use_q2(config.q2_fraction);
+
+  // Distinct empty templates (hot spots users keep probing). A configurable
+  // fraction uses the three-relation Q2 shape.
+  std::vector<std::string> empty_templates;
+  empty_templates.reserve(distinct_empty);
+  for (size_t i = 0; i < distinct_empty; ++i) {
+    if (use_q2(rng)) {
+      empty_templates.push_back(
+          gen.GenerateQ2(config.e, config.f, 1, /*want_empty=*/true).ToSql());
+    } else {
+      empty_templates.push_back(
+          gen.GenerateQ1(config.e, config.f, /*want_empty=*/true).ToSql());
+    }
+  }
+
+  std::vector<TraceQuery> trace;
+  trace.reserve(config.total_queries);
+
+  // Every template appears at least once; the remaining empty executions
+  // are Zipf-repeated over the templates.
+  for (size_t i = 0; i < distinct_empty && trace.size() < total_empty; ++i) {
+    trace.push_back(TraceQuery{empty_templates[i], true,
+                               static_cast<int>(i)});
+  }
+  ZipfSampler zipf(distinct_empty, config.zipf_s);
+  while (trace.size() < total_empty) {
+    size_t id = zipf.Sample(rng);
+    trace.push_back(TraceQuery{empty_templates[id], true,
+                               static_cast<int>(id)});
+  }
+
+  // Non-empty remainder.
+  while (trace.size() < config.total_queries) {
+    std::string sql =
+        use_q2(rng)
+            ? gen.GenerateQ2(config.e, config.f, 1, /*want_empty=*/false)
+                  .ToSql()
+            : gen.GenerateQ1(config.e, config.f, /*want_empty=*/false)
+                  .ToSql();
+    trace.push_back(TraceQuery{std::move(sql), false, -1});
+  }
+
+  std::shuffle(trace.begin(), trace.end(), rng);
+  return trace;
+}
+
+TraceStats ComputeTraceStats(const std::vector<TraceQuery>& trace) {
+  TraceStats stats;
+  stats.total = trace.size();
+  std::set<int> seen_templates;
+  std::set<std::string> seen_sql;
+  for (const TraceQuery& q : trace) {
+    if (!q.expect_empty) continue;
+    ++stats.empty;
+    if (!seen_sql.insert(q.sql).second) {
+      ++stats.repeated_empty;
+    }
+    seen_templates.insert(q.template_id);
+  }
+  stats.distinct_empty = seen_templates.size();
+  return stats;
+}
+
+}  // namespace erq

@@ -1,0 +1,52 @@
+#ifndef ERQ_WORKLOAD_TRACE_H_
+#define ERQ_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/query_gen.h"
+
+namespace erq {
+
+/// Synthetic stand-in for the proprietary IBM CRM query trace the paper's
+/// introduction reports on: 18,793 queries of which 18.07% (3,396) are
+/// empty-result, with only 1,287 distinct empty queries (2,109 repeats —
+/// at least 11% of all executions avoidable by perfect reuse). The
+/// generator reproduces exactly these aggregate statistics at a
+/// configurable overall size.
+struct TraceConfig {
+  size_t total_queries = 1879;          // paper: 18,793 (scaled 10x down)
+  double empty_fraction = 0.1807;       // paper: 18.07%
+  double distinct_empty_fraction = 0.379;  // paper: 1287/3396
+  /// Zipf skew for which distinct empty query a repeat draws (hot spots).
+  double zipf_s = 1.0;
+  /// Disjunction sizes of generated Q1 instances.
+  size_t e = 2, f = 1;
+  /// Fraction of generated queries that use the three-relation Q2 template
+  /// (with g = 1 nation disjunct) instead of Q1.
+  double q2_fraction = 0.0;
+  uint64_t seed = 7;
+};
+
+struct TraceQuery {
+  std::string sql;
+  bool expect_empty = false;
+  int template_id = -1;  // distinct-empty-query id; -1 for non-empty
+};
+
+/// Statistics of a generated trace (for verifying the paper's ratios).
+struct TraceStats {
+  size_t total = 0;
+  size_t empty = 0;
+  size_t distinct_empty = 0;
+  size_t repeated_empty = 0;  // empty executions that repeat a prior one
+};
+
+std::vector<TraceQuery> GenerateCrmTrace(const TpcrInstance& instance,
+                                         const TraceConfig& config);
+
+TraceStats ComputeTraceStats(const std::vector<TraceQuery>& trace);
+
+}  // namespace erq
+
+#endif  // ERQ_WORKLOAD_TRACE_H_

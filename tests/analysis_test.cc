@@ -1,0 +1,160 @@
+#include "analysis/detection_model.h"
+
+#include <cmath>
+
+#include "analysis/monte_carlo.h"
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+TEST(DetectionModelTest, Case1ClosedForm) {
+  EXPECT_DOUBLE_EQ(Case1DetectionProbability(0.5, 1), 0.5);
+  EXPECT_DOUBLE_EQ(Case1DetectionProbability(0.5, 2), 0.25);
+  EXPECT_DOUBLE_EQ(Case1DetectionProbability(1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(Case1DetectionProbability(0.0, 3), 0.0);
+  // Clamped inputs.
+  EXPECT_DOUBLE_EQ(Case1DetectionProbability(1.5, 2), 1.0);
+}
+
+TEST(DetectionModelTest, Case1MonotoneInPDecreasingInM) {
+  for (int m = 1; m <= 4; ++m) {
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0; p += 0.1) {
+      double d = Case1DetectionProbability(p, m);
+      EXPECT_GE(d, prev);
+      prev = d;
+    }
+  }
+  EXPECT_GT(Case1DetectionProbability(0.7, 1),
+            Case1DetectionProbability(0.7, 4));
+}
+
+TEST(DetectionModelTest, Case2ClosedForm) {
+  // n=1: per-condition coverage 1/2; N=1 -> 0.5.
+  EXPECT_DOUBLE_EQ(Case2UnboundedDetectionProbability(1, 1), 0.5);
+  // Large N converges to 1.
+  EXPECT_NEAR(Case2UnboundedDetectionProbability(2, 1000), 1.0, 1e-9);
+  // Bounded variant uses 1/6 per dimension.
+  EXPECT_NEAR(Case2BoundedDetectionProbability(1, 1), 1.0 / 6.0, 1e-12);
+  // More terms => lower probability at fixed N.
+  EXPECT_GT(Case2UnboundedDetectionProbability(1, 50),
+            Case2UnboundedDetectionProbability(4, 50));
+}
+
+TEST(DetectionModelTest, Case3ClosedForm) {
+  EXPECT_NEAR(Case3DetectionProbability(0.01, 1, 100),
+              1.0 - std::pow(0.99, 100), 1e-12);
+  EXPECT_GT(Case3DetectionProbability(0.01, 1, 200),
+            Case3DetectionProbability(0.01, 1, 100));
+  EXPECT_GT(Case3DetectionProbability(0.01, 1, 100),
+            Case3DetectionProbability(0.01, 4, 100));
+  EXPECT_NEAR(Case3DetectionProbability(0.5, 2, 1000), 1.0, 1e-9);
+}
+
+// Monte-Carlo cross-validation of the closed forms.
+
+struct Case1Param {
+  size_t K, N;
+  int m;
+};
+
+class Case1McTest : public ::testing::TestWithParam<Case1Param> {};
+
+TEST_P(Case1McTest, MatchesClosedForm) {
+  const auto& p = GetParam();
+  double analytic = Case1DetectionProbability(
+      static_cast<double>(p.N) / static_cast<double>(p.K), p.m);
+  double simulated = SimulateCase1(p.K, p.N, p.m, 4000, 42);
+  EXPECT_NEAR(simulated, analytic, 0.04)
+      << "K=" << p.K << " N=" << p.N << " m=" << p.m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Case1McTest,
+    ::testing::Values(Case1Param{100, 50, 1}, Case1Param{100, 50, 2},
+                      Case1Param{100, 90, 3}, Case1Param{200, 20, 1},
+                      Case1Param{100, 100, 4}));
+
+struct Case2Param {
+  int n;
+  size_t N;
+};
+
+class Case2McTest : public ::testing::TestWithParam<Case2Param> {};
+
+// The paper's Case-2 closed form treats the N coverage events as fully
+// independent; they are only conditionally independent given the query, so
+// the formula is an UPPER bound on the true detection probability (Jensen,
+// (1-x)^N convex). The simulation draws from the model's actual
+// distributions; verify both the bound and agreement with the exact value.
+TEST_P(Case2McTest, PaperFormulaIsUpperBoundOfSimulation) {
+  const auto& p = GetParam();
+  double paper =
+      Case2UnboundedDetectionProbability(p.n, static_cast<double>(p.N));
+  double simulated = SimulateCase2Unbounded(p.n, p.N, 4000, 7);
+  EXPECT_LE(simulated, paper + 0.03) << "n=" << p.n << " N=" << p.N;
+  double paper_bounded =
+      Case2BoundedDetectionProbability(p.n, static_cast<double>(p.N));
+  double simulated_bounded = SimulateCase2Bounded(p.n, p.N, 4000, 7);
+  EXPECT_LE(simulated_bounded, paper_bounded + 0.03)
+      << "n=" << p.n << " N=" << p.N;
+}
+
+TEST_P(Case2McTest, UnboundedMatchesExactValue) {
+  const auto& p = GetParam();
+  double exact =
+      Case2UnboundedExactDetectionProbability(p.n, static_cast<double>(p.N));
+  double simulated = SimulateCase2Unbounded(p.n, p.N, 8000, 7);
+  EXPECT_NEAR(simulated, exact, 0.03) << "n=" << p.n << " N=" << p.N;
+}
+
+TEST(Case2ExactTest, N1ClosedForm) {
+  // n = 1: exact D_p = N/(N+1).
+  EXPECT_DOUBLE_EQ(Case2UnboundedExactDetectionProbability(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(Case2UnboundedExactDetectionProbability(1, 9), 0.9);
+  // Quadrature path (n >= 2) agrees with a hand-computed value:
+  // n = 2, N = 1: E[c1 c2] = 1/4 -> D_p = 0.25.
+  EXPECT_NEAR(Case2UnboundedExactDetectionProbability(2, 1), 0.25, 1e-6);
+}
+
+TEST(Case2ExactTest, MonotoneAndConvergent) {
+  double prev = 0.0;
+  for (double N : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    double d = Case2UnboundedExactDetectionProbability(2, N);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(Case2UnboundedExactDetectionProbability(1, 64),
+            Case2UnboundedExactDetectionProbability(3, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Case2McTest,
+                         ::testing::Values(Case2Param{1, 1}, Case2Param{1, 8},
+                                           Case2Param{2, 8}, Case2Param{2, 32},
+                                           Case2Param{3, 64}));
+
+struct Case3Param {
+  double q;
+  int m;
+  size_t N;
+};
+
+class Case3McTest : public ::testing::TestWithParam<Case3Param> {};
+
+TEST_P(Case3McTest, MatchesClosedForm) {
+  const auto& p = GetParam();
+  double analytic =
+      Case3DetectionProbability(p.q, p.m, static_cast<double>(p.N));
+  double simulated = SimulateCase3(p.q, p.m, p.N, 4000, 11);
+  EXPECT_NEAR(simulated, analytic, 0.04)
+      << "q=" << p.q << " m=" << p.m << " N=" << p.N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Case3McTest,
+    ::testing::Values(Case3Param{0.05, 1, 20}, Case3Param{0.05, 2, 20},
+                      Case3Param{0.02, 1, 100}, Case3Param{0.1, 3, 10}));
+
+}  // namespace
+}  // namespace erq

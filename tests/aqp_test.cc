@@ -1,0 +1,210 @@
+#include "core/atomic_query_part.h"
+
+#include <random>
+
+#include "core/signature.h"
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+Conjunction PointCond(const char* rel, const char* col, int64_t v) {
+  return Conjunction::Make({PrimitiveTerm::MakeInterval(
+      ColumnId::Make(rel, col), ValueInterval::Point(Value::Int(v)))});
+}
+
+TEST(RelationSetTest, NormalizesSortsAndDedups) {
+  RelationSet s({"Orders", "lineitem", "ORDERS"});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.names()[0], "lineitem");
+  EXPECT_EQ(s.names()[1], "orders");
+  EXPECT_TRUE(s.Contains("ORDERS"));
+  EXPECT_FALSE(s.Contains("customer"));
+  EXPECT_EQ(s.Key(), "lineitem,orders");
+}
+
+TEST(RelationSetTest, SubsetSemantics) {
+  RelationSet ab({"a", "b"});
+  RelationSet abc({"a", "b", "c"});
+  RelationSet ac({"a", "c"});
+  EXPECT_TRUE(ab.IsSubsetOf(abc));
+  EXPECT_FALSE(abc.IsSubsetOf(ab));
+  EXPECT_TRUE(ab.IsSubsetOf(ab));
+  EXPECT_FALSE(ac.IsSubsetOf(ab));
+  EXPECT_TRUE(RelationSet(std::vector<std::string>{}).IsSubsetOf(ab));
+}
+
+TEST(RelationSetTest, HashConsistentWithEquality) {
+  EXPECT_EQ(RelationSet({"A", "b"}).Hash(), RelationSet({"b", "a"}).Hash());
+  EXPECT_TRUE(RelationSet({"A", "b"}) == RelationSet({"b", "a"}));
+}
+
+TEST(AtomicQueryPartTest, CoversRequiresSubsetAndConditionCover) {
+  // Theorem 2 example: pi(R) empty => R x S with any condition empty.
+  AtomicQueryPart general(RelationSet({"r"}), Conjunction{});
+  AtomicQueryPart specific(RelationSet({"r", "s"}),
+                           PointCond("r", "x", 5));
+  EXPECT_TRUE(general.Covers(specific));
+  EXPECT_FALSE(specific.Covers(general));
+}
+
+TEST(AtomicQueryPartTest, RelationMismatchBlocksCoverage) {
+  AtomicQueryPart p1(RelationSet({"t"}), PointCond("t", "x", 5));
+  AtomicQueryPart p2(RelationSet({"u"}), PointCond("u", "x", 5));
+  EXPECT_FALSE(p1.Covers(p2));
+}
+
+TEST(AtomicQueryPartTest, SelfJoinRenamedRelationsAreDistinct) {
+  AtomicQueryPart once(RelationSet({"r"}), Conjunction{});
+  AtomicQueryPart twice(RelationSet({"r", "r#2"}), Conjunction{});
+  EXPECT_TRUE(once.Covers(twice));   // {r} ⊆ {r, r#2}
+  EXPECT_FALSE(twice.Covers(once));
+}
+
+TEST(AtomicQueryPartTest, UnsatisfiableFlag) {
+  Conjunction contradiction = Conjunction::Make(
+      {PrimitiveTerm::MakeInterval(ColumnId::Make("t", "x"),
+                                   ValueInterval::Point(Value::Int(1))),
+       PrimitiveTerm::MakeInterval(ColumnId::Make("t", "x"),
+                                   ValueInterval::Point(Value::Int(2)))});
+  AtomicQueryPart part(RelationSet({"t"}), contradiction);
+  EXPECT_TRUE(part.ProvablyUnsatisfiable());
+}
+
+TEST(AtomicQueryPartTest, EqualsAndToString) {
+  AtomicQueryPart a(RelationSet({"t"}), PointCond("t", "x", 1));
+  AtomicQueryPart b(RelationSet({"T"}), PointCond("t", "x", 1));
+  AtomicQueryPart c(RelationSet({"t"}), PointCond("t", "x", 2));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_NE(a.ToString().find("{t}"), std::string::npos);
+}
+
+TEST(SignatureTest, SubsetImpliesMaybeSubset) {
+  RelationSet small({"orders"});
+  RelationSet big({"orders", "lineitem", "customer"});
+  RelationSignature s = RelationSignature::Of(small);
+  RelationSignature b = RelationSignature::Of(big);
+  EXPECT_TRUE(s.MaybeSubsetOf(b)) << "no false negatives allowed";
+  EXPECT_TRUE(b.MaybeSupersetOf(s));
+}
+
+TEST(SignatureTest, FiltersOutObviousNonSubsets) {
+  RelationSignature a = RelationSignature::Of(RelationSet({"alpha"}));
+  RelationSignature b = RelationSignature::Of(RelationSet({"beta"}));
+  // Overwhelmingly likely distinct single names set different bits.
+  EXPECT_FALSE(a.MaybeSubsetOf(b) && b.MaybeSubsetOf(a));
+}
+
+TEST(SignatureTest, EmptySetIsSubsetOfEverything) {
+  RelationSignature empty = RelationSignature::Of(RelationSet(std::vector<std::string>{}));
+  RelationSignature any = RelationSignature::Of(RelationSet({"x", "y"}));
+  EXPECT_TRUE(empty.MaybeSubsetOf(any));
+  EXPECT_EQ(empty.bits(), 0u);
+}
+
+// Property sweep: for random relation-name universes, the signature filter
+// never rejects a true subset pair.
+class SignatureSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignatureSoundnessTest, NoFalseNegatives) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<std::string> universe;
+  for (int i = 0; i < 12; ++i) {
+    universe.push_back("rel" + std::to_string(rng() % 100));
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::string> sub, super;
+    for (const std::string& name : universe) {
+      bool in_super = rng() % 2 == 0;
+      if (in_super) {
+        super.push_back(name);
+        if (rng() % 2 == 0) sub.push_back(name);
+      }
+    }
+    RelationSet s(sub), p(super);
+    ASSERT_TRUE(s.IsSubsetOf(p));
+    EXPECT_TRUE(
+        RelationSignature::Of(s).MaybeSubsetOf(RelationSignature::Of(p)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignatureSoundnessTest,
+                         ::testing::Values(11, 22, 33));
+
+// ---- Occurrence remapping (extension beyond the paper, see Covers) ----
+
+TEST(OccurrenceRemapTest, StoredFirstOccurrenceCoversSecond) {
+  // Stored: sigma_{r.x = 5}(r) is empty (i.e. table r has no x = 5).
+  AtomicQueryPart stored(RelationSet({"r"}), PointCond("r", "x", 5));
+  // Query part: self join with the constraint on the SECOND occurrence.
+  AtomicQueryPart query(
+      RelationSet({"r", "r#2"}),
+      Conjunction::Make(
+          {PrimitiveTerm::MakeColCol(ColumnId::Make("r", "k"), CompareOp::kEq,
+                                     ColumnId::Make("r#2", "k")),
+           PrimitiveTerm::MakeInterval(ColumnId::Make("r#2", "x"),
+                                       ValueInterval::Point(Value::Int(5)))}));
+  EXPECT_TRUE(stored.Covers(query))
+      << "the same base table is empty on x=5 regardless of occurrence";
+}
+
+TEST(OccurrenceRemapTest, DifferentBaseNeverRemapped) {
+  AtomicQueryPart stored(RelationSet({"s"}), PointCond("s", "x", 5));
+  AtomicQueryPart query(
+      RelationSet({"r", "r#2"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("r#2", "x"), ValueInterval::Point(Value::Int(5)))}));
+  EXPECT_FALSE(stored.Covers(query));
+}
+
+TEST(OccurrenceRemapTest, NoRemapWithoutRepeatsInQuery) {
+  // Stored about r#2 (hypothetically) must not cover a single-occurrence
+  // query: no repeats, no remapping.
+  AtomicQueryPart stored(RelationSet({"r#2"}), PointCond("r#2", "x", 5));
+  AtomicQueryPart query(RelationSet({"r"}), PointCond("r", "x", 5));
+  EXPECT_FALSE(stored.Covers(query));
+}
+
+TEST(OccurrenceRemapTest, JoinTermRemapsBothSides) {
+  // Stored: sigma_{r.a = r#2.b}(r x r#2) empty; query uses swapped
+  // occurrence roles, which a (r -> r#2, r#2 -> r) remap recovers.
+  AtomicQueryPart stored(
+      RelationSet({"r", "r#2"}),
+      Conjunction::Make({PrimitiveTerm::MakeColCol(
+          ColumnId::Make("r", "a"), CompareOp::kEq,
+          ColumnId::Make("r#2", "b"))}));
+  AtomicQueryPart query(
+      RelationSet({"r", "r#2"}),
+      Conjunction::Make({PrimitiveTerm::MakeColCol(
+          ColumnId::Make("r#2", "a"), CompareOp::kEq,
+          ColumnId::Make("r", "b"))}));
+  EXPECT_TRUE(stored.Covers(query));
+}
+
+TEST(OccurrenceRemapTest, InjectivityRespected) {
+  // Stored references two distinct occurrences with contradictory
+  // constraints; mapping both onto the same query occurrence would be
+  // unsound and must not happen (injective assignment only).
+  AtomicQueryPart stored(
+      RelationSet({"r", "r#2"}),
+      Conjunction::Make(
+          {PrimitiveTerm::MakeInterval(ColumnId::Make("r", "x"),
+                                       ValueInterval::Point(Value::Int(1))),
+           PrimitiveTerm::MakeInterval(ColumnId::Make("r#2", "x"),
+                                       ValueInterval::Point(Value::Int(2)))}));
+  // Query has two occurrences, both pinned to x = 1: no injective mapping
+  // can make stored's x=2 constraint cover anything.
+  AtomicQueryPart query(
+      RelationSet({"r", "r#2"}),
+      Conjunction::Make(
+          {PrimitiveTerm::MakeInterval(ColumnId::Make("r", "x"),
+                                       ValueInterval::Point(Value::Int(1))),
+           PrimitiveTerm::MakeInterval(ColumnId::Make("r#2", "x"),
+                                       ValueInterval::Point(Value::Int(1)))}));
+  EXPECT_FALSE(stored.Covers(query));
+}
+
+}  // namespace
+}  // namespace erq

@@ -1,0 +1,208 @@
+#include "core/caqp_cache.h"
+
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+AtomicQueryPart Point(const char* rel, const char* col, int64_t v) {
+  return AtomicQueryPart(
+      RelationSet({rel}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make(rel, col), ValueInterval::Point(Value::Int(v)))}));
+}
+
+AtomicQueryPart Range(const char* rel, const char* col, int64_t lo,
+                      int64_t hi) {
+  return AtomicQueryPart(
+      RelationSet({rel}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make(rel, col),
+          ValueInterval::Range(Value::Int(lo), true, Value::Int(hi), true))}));
+}
+
+TEST(CaqpCacheTest, InsertAndHit) {
+  CaqpCache cache(100);
+  cache.Insert(Point("t", "x", 5));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 5)));
+  EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 6)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+}
+
+TEST(CaqpCacheTest, CoverageAcrossGenerality) {
+  CaqpCache cache(100);
+  cache.Insert(Range("t", "x", 0, 100));
+  // More specific queries are covered.
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 50)));
+  EXPECT_TRUE(cache.CoveredBy(Range("t", "x", 10, 20)));
+  EXPECT_FALSE(cache.CoveredBy(Range("t", "x", 50, 150)));
+}
+
+TEST(CaqpCacheTest, RelationSubsetRule) {
+  CaqpCache cache(100);
+  // Stored: sigma over {t} alone is empty.
+  cache.Insert(Point("t", "x", 5));
+  // Query part over {t, u} with the same condition on t is covered.
+  AtomicQueryPart joined(
+      RelationSet({"t", "u"}),
+      Conjunction::Make(
+          {PrimitiveTerm::MakeInterval(ColumnId::Make("t", "x"),
+                                       ValueInterval::Point(Value::Int(5))),
+           PrimitiveTerm::MakeColCol(ColumnId::Make("t", "k"), CompareOp::kEq,
+                                     ColumnId::Make("u", "k"))}));
+  EXPECT_TRUE(cache.CoveredBy(joined));
+  // But not the other way around.
+  CaqpCache reverse(100);
+  reverse.Insert(joined);
+  EXPECT_FALSE(reverse.CoveredBy(Point("t", "x", 5)));
+}
+
+TEST(CaqpCacheTest, RedundantInsertSkipped) {
+  CaqpCache cache(100);
+  cache.Insert(Range("t", "x", 0, 100));
+  cache.Insert(Point("t", "x", 50));  // covered by the range: skipped
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().skipped_covered, 1u);
+}
+
+TEST(CaqpCacheTest, MoreGeneralInsertDisplacesCovered) {
+  CaqpCache cache(100);
+  cache.Insert(Point("t", "x", 50));
+  cache.Insert(Point("t", "x", 60));
+  cache.Insert(Range("t", "x", 0, 100));  // covers both points
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().removed_covered, 2u);
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 60)));
+}
+
+TEST(CaqpCacheTest, GeneralInsertDisplacesAcrossEntries) {
+  CaqpCache cache(100);
+  AtomicQueryPart joined(
+      RelationSet({"t", "u"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("t", "x"), ValueInterval::Point(Value::Int(5)))}));
+  cache.Insert(joined);
+  // {t} with TRUE condition covers the {t,u} part: it should displace it.
+  AtomicQueryPart table_empty(RelationSet({"t"}), Conjunction{});
+  cache.Insert(table_empty);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.CoveredBy(joined));
+}
+
+TEST(CaqpCacheTest, CapacityEnforced) {
+  CaqpCache cache(10);
+  for (int64_t i = 0; i < 25; ++i) {
+    cache.Insert(Point("t", "x", i));
+  }
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_GE(cache.stats().evictions, 15u);
+}
+
+TEST(CaqpCacheTest, ClockKeepsRecentlyHitParts) {
+  CaqpCache cache(4, EvictionPolicy::kClock);
+  for (int64_t i = 0; i < 4; ++i) cache.Insert(Point("t", "x", i));
+  // Touch part 2 before every insert so its reference bit is set whenever
+  // the clock hand reaches it. (Part 0 would be evicted by the very first
+  // full revolution — the hand clears every bit, wraps, and takes the
+  // first slot — which is standard clock behavior.)
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.CoveredBy(Point("t", "x", 2))) << "round " << i;
+    cache.Insert(Point("t", "x", 100 + i));  // forces eviction each time
+    ASSERT_EQ(cache.size(), 4u);
+  }
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 2)))
+      << "the hot part must survive clock replacement";
+}
+
+TEST(CaqpCacheTest, LruEvictsLeastRecentlyUsed) {
+  CaqpCache cache(3, EvictionPolicy::kLru);
+  cache.Insert(Point("t", "x", 1));
+  cache.Insert(Point("t", "x", 2));
+  cache.Insert(Point("t", "x", 3));
+  ASSERT_TRUE(cache.CoveredBy(Point("t", "x", 1)));  // refresh 1
+  ASSERT_TRUE(cache.CoveredBy(Point("t", "x", 3)));  // refresh 3
+  cache.Insert(Point("t", "x", 4));                  // evicts 2
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 1)));
+  EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 2)));
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 3)));
+}
+
+TEST(CaqpCacheTest, FifoEvictsOldest) {
+  CaqpCache cache(3, EvictionPolicy::kFifo);
+  cache.Insert(Point("t", "x", 1));
+  cache.Insert(Point("t", "x", 2));
+  cache.Insert(Point("t", "x", 3));
+  ASSERT_TRUE(cache.CoveredBy(Point("t", "x", 1)));  // recency is ignored
+  cache.Insert(Point("t", "x", 4));                  // evicts 1 anyway
+  EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 1)));
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 2)));
+}
+
+TEST(CaqpCacheTest, InvalidateRelationDropsRenamedOccurrences) {
+  CaqpCache cache(100);
+  cache.Insert(Point("orders", "k", 1));
+  cache.Insert(Point("lineitem", "k", 2));
+  AtomicQueryPart self_join(
+      RelationSet({"orders", "orders#2"}),
+      Conjunction::Make({PrimitiveTerm::MakeColCol(
+          ColumnId::Make("orders", "k"), CompareOp::kLt,
+          ColumnId::Make("orders#2", "k"))}));
+  cache.Insert(self_join);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.InvalidateRelation("orders");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.CoveredBy(Point("lineitem", "k", 2)));
+  EXPECT_FALSE(cache.CoveredBy(Point("orders", "k", 1)));
+}
+
+TEST(CaqpCacheTest, ClearResetsEverything) {
+  CaqpCache cache(100);
+  cache.Insert(Point("t", "x", 1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 1)));
+  // Reusable after clear.
+  cache.Insert(Point("t", "x", 2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CaqpCacheTest, SignatureOffStillCorrect) {
+  CaqpCache cache(100, EvictionPolicy::kClock, /*enable_signatures=*/false);
+  cache.Insert(Point("t", "x", 5));
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 5)));
+  EXPECT_FALSE(cache.CoveredBy(Point("u", "x", 5)));
+}
+
+TEST(CaqpCacheTest, ZeroCapacityStoresNothing) {
+  CaqpCache cache(0);
+  cache.Insert(Point("t", "x", 5));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 5)));
+}
+
+TEST(CaqpCacheTest, SnapshotReturnsLiveParts) {
+  CaqpCache cache(100);
+  cache.Insert(Point("t", "x", 1));
+  cache.Insert(Point("u", "y", 2));
+  std::vector<AtomicQueryPart> snap = cache.Snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+}
+
+// Paper §2.2 example: Q1 = sigma_{A.a=50 OR A.b=30}(A) and
+// Q2 = sigma_{A.a=60 OR A.b=40}(A) are stored as four atomic parts;
+// Q = sigma_{A.a=50 OR A.a=60}(A) is then detectable from P1 and P3.
+TEST(CaqpCacheTest, PaperSection22CombinationExample) {
+  CaqpCache cache(100);
+  cache.Insert(Point("a", "a", 50));
+  cache.Insert(Point("a", "b", 30));
+  cache.Insert(Point("a", "a", 60));
+  cache.Insert(Point("a", "b", 40));
+  // Q decomposes into two parts; both must be covered.
+  EXPECT_TRUE(cache.CoveredBy(Point("a", "a", 50)));
+  EXPECT_TRUE(cache.CoveredBy(Point("a", "a", 60)));
+}
+
+}  // namespace
+}  // namespace erq

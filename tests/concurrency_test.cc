@@ -1,0 +1,120 @@
+// CaqpCache is internally synchronized (many RDBMS sessions consult C_aqp
+// concurrently, and even lookups flip clock bits). These tests hammer the
+// cache from multiple threads and verify the invariants hold afterwards.
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "core/caqp_cache.h"
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+AtomicQueryPart Point(const std::string& rel, int64_t x) {
+  return AtomicQueryPart(
+      RelationSet({rel}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make(rel, "x"), ValueInterval::Point(Value::Int(x)))}));
+}
+
+TEST(ConcurrencyTest, MixedLookupsAndInsertsKeepInvariants) {
+  const size_t n_max = 200;
+  CaqpCache cache(n_max);
+  const int kThreads = 8;
+  const int kOpsPerThread = 5000;
+  std::atomic<uint64_t> hits{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        int64_t id = static_cast<int64_t>(rng() % 500);
+        AtomicQueryPart part = Point("t", id);
+        if (cache.CoveredBy(part)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.Insert(part);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Invariants: capacity respected, snapshot consistent, cache usable.
+  EXPECT_LE(cache.size(), n_max);
+  std::vector<AtomicQueryPart> snapshot = cache.Snapshot();
+  EXPECT_EQ(snapshot.size(), cache.size());
+  EXPECT_GT(hits.load(), 0u);
+  CaqpCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  // Every live part is findable.
+  for (const AtomicQueryPart& part : snapshot) {
+    EXPECT_TRUE(cache.CoveredBy(part));
+  }
+}
+
+TEST(ConcurrencyTest, InvalidationRacesWithLookups) {
+  CaqpCache cache(10000);
+  for (int64_t i = 0; i < 200; ++i) {
+    cache.Insert(Point("r", i));
+    cache.Insert(Point("s", i));
+  }
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    for (int round = 0; round < 50; ++round) {
+      cache.InvalidateRelation("r");
+      for (int64_t i = 0; i < 50; ++i) cache.Insert(Point("r", i));
+      cache.DropIf([](const AtomicQueryPart& part) {
+        return part.relations().Contains("r") &&
+               part.condition().size() > 0 &&
+               part.condition().terms()[0].interval().ContainsPoint(
+                   Value::Int(7));
+      });
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      while (!stop.load()) {
+        // s-parts are never invalidated: they must always be found.
+        int64_t id = static_cast<int64_t>(rng() % 200);
+        ASSERT_TRUE(cache.CoveredBy(Point("s", id)));
+        cache.CoveredBy(Point("r", static_cast<int64_t>(rng() % 200)));
+      }
+    });
+  }
+  invalidator.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_LE(cache.size(), 10000u);
+}
+
+TEST(ConcurrencyTest, ConcurrentSerializationIsConsistent) {
+  CaqpCache cache(1000);
+  for (int64_t i = 0; i < 100; ++i) cache.Insert(Point("t", i));
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      for (int op = 0; op < 500; ++op) {
+        if (op % 3 == 0) {
+          cache.Insert(Point("t", static_cast<int64_t>(rng() % 400)));
+        } else {
+          std::vector<AtomicQueryPart> snap = cache.Snapshot();
+          if (snap.size() > 1000) failed.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace erq

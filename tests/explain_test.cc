@@ -1,0 +1,86 @@
+#include "core/explain.h"
+
+#include "exec/executor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace erq {
+namespace {
+
+using erq::testing::FixtureDb;
+
+TEST(ExplainTest, RequiresExecutedEmptyPlan) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr plan,
+                           db.Prepare("select * from A where a > 999"));
+  // Not executed yet.
+  EXPECT_FALSE(ExplainEmptyResult(plan).ok());
+  ERQ_ASSERT_OK(Executor::Run(plan).status());
+  EXPECT_TRUE(ExplainEmptyResult(plan).ok());
+  // Non-empty result refuses to explain.
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr full, db.Prepare("select * from A"));
+  ERQ_ASSERT_OK(Executor::Run(full).status());
+  EXPECT_FALSE(ExplainEmptyResult(full).ok());
+}
+
+TEST(ExplainTest, PointsAtEmptySelection) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare("select * from A, B where A.c = B.d and A.a > 999"));
+  ERQ_ASSERT_OK(Executor::Run(plan).status());
+  ERQ_ASSERT_OK_AND_ASSIGN(EmptyResultExplanation explanation,
+                           ExplainEmptyResult(plan));
+  ASSERT_EQ(explanation.minimal_causes.size(), 1u);
+  // The minimal zero result is the selection on A alone (not the join).
+  EXPECT_NE(explanation.minimal_causes[0].find("A"), std::string::npos);
+  EXPECT_EQ(explanation.minimal_causes[0].find(" x "), std::string::npos)
+      << "should not blame the join: " << explanation.minimal_causes[0];
+  EXPECT_NE(explanation.minimal_causes[0].find("> 999"), std::string::npos);
+  EXPECT_NE(explanation.minimal_causes[0].find("0 rows"), std::string::npos);
+}
+
+TEST(ExplainTest, BlamesJoinWhenSelectionsAreNonEmpty) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare("select * from A, B where A.c = B.d and A.c = 0 "
+                 "and B.d = 4"));
+  ERQ_ASSERT_OK(Executor::Run(plan).status());
+  ERQ_ASSERT_OK_AND_ASSIGN(EmptyResultExplanation explanation,
+                           ExplainEmptyResult(plan));
+  ASSERT_EQ(explanation.minimal_causes.size(), 1u);
+  EXPECT_NE(explanation.minimal_causes[0].find(" x "), std::string::npos)
+      << explanation.minimal_causes[0];
+}
+
+TEST(ExplainTest, AnnotatedPlanCarriesCardinalities) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr plan,
+                           db.Prepare("select * from A where a > 999"));
+  ERQ_ASSERT_OK(Executor::Run(plan).status());
+  ERQ_ASSERT_OK_AND_ASSIGN(EmptyResultExplanation explanation,
+                           ExplainEmptyResult(plan));
+  EXPECT_NE(explanation.annotated_plan.find("actual=0"), std::string::npos);
+  EXPECT_NE(explanation.annotated_plan.find("actual=10"), std::string::npos);
+  std::string rendered = explanation.ToString();
+  EXPECT_NE(rendered.find("Minimal zero result"), std::string::npos);
+}
+
+TEST(ExplainTest, MultipleCausesReported) {
+  FixtureDb db;
+  // Both selections are independently empty.
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare("select * from A, B where A.c = B.d and A.a > 999 "
+                 "and B.e = 123"));
+  ERQ_ASSERT_OK(Executor::Run(plan).status());
+  ERQ_ASSERT_OK_AND_ASSIGN(EmptyResultExplanation explanation,
+                           ExplainEmptyResult(plan));
+  // At least the first empty input is isolated. (The probe side of a hash
+  // join may short-circuit, leaving the other selection unexecuted.)
+  EXPECT_GE(explanation.minimal_causes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace erq

@@ -1,0 +1,110 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  Lexer lexer(s);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  std::vector<Token> t = Lex("   ");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreUppercasedIdentifiersKeepCase) {
+  std::vector<Token> t = Lex("select FooBar From T");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "FooBar");
+  EXPECT_TRUE(t[2].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> t = Lex("42 3.5 .25 1e3 2E-2");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(t[0].int_value, 42);
+  EXPECT_EQ(t[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(t[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(t[2].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(t[3].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(t[4].double_value, 0.02);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  std::vector<Token> t = Lex("'it''s'");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(t[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, Operators) {
+  std::vector<Token> t = Lex("= <> != < <= > >= + - * / ( ) , .");
+  std::vector<TokenType> expected = {
+      TokenType::kEq, TokenType::kNe, TokenType::kNe, TokenType::kLt,
+      TokenType::kLe, TokenType::kGt, TokenType::kGe, TokenType::kPlus,
+      TokenType::kMinus, TokenType::kStar, TokenType::kSlash,
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot, TokenType::kEof};
+  ASSERT_EQ(t.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(t[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  std::vector<Token> t = Lex("select -- comment here\n 1");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].int_value, 1);
+}
+
+TEST(LexerTest, SemicolonEndsInput) {
+  std::vector<Token> t = Lex("select ; ignored garbage '");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].type, TokenType::kEof);
+}
+
+TEST(LexerTest, QualifiedName) {
+  std::vector<Token> t = Lex("o.orderdate");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "o");
+  EXPECT_EQ(t[1].type, TokenType::kDot);
+  EXPECT_EQ(t[2].text, "orderdate");
+}
+
+TEST(LexerTest, HashAllowedInIdentifiers) {
+  // Canonical self-join names like "lineitem#2" must tokenize.
+  std::vector<Token> t = Lex("lineitem#2");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].text, "lineitem#2");
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  Lexer bad("select @");
+  EXPECT_FALSE(bad.Tokenize().ok());
+  Lexer bang("a ! b");
+  EXPECT_FALSE(bang.Tokenize().ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  std::vector<Token> t = Lex("ab cd");
+  EXPECT_EQ(t[0].position, 0u);
+  EXPECT_EQ(t[1].position, 3u);
+}
+
+}  // namespace
+}  // namespace erq

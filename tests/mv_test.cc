@@ -1,0 +1,123 @@
+#include "mv/mv_cache.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace erq {
+namespace {
+
+using erq::testing::FixtureDb;
+
+TEST(MvCacheTest, ExactRepeatHit) {
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto plan = db.Plan("select * from A where a > 100");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(cache.CheckEmpty(*plan));
+  cache.RecordEmpty(*plan);
+  EXPECT_TRUE(cache.CheckEmpty(*plan));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(MvCacheTest, EquivalentAfterNormalizationHit) {
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto a = db.Plan("select * from A where not (a <= 100)");
+  auto b = db.Plan("select * from A where a > 100");
+  ASSERT_TRUE(a.ok() && b.ok());
+  cache.RecordEmpty(*a);
+  EXPECT_TRUE(cache.CheckEmpty(*b))
+      << "NOT-normalized predicates should fingerprint identically";
+}
+
+TEST(MvCacheTest, DifferentProjectionMisses) {
+  // §2.6: the conventional MV method is blind to the fact that projection
+  // does not affect emptiness. Our method covers this case
+  // (DetectorTest.ProjectionIgnoredPerT1); the baseline must miss it.
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto recorded = db.Plan("select a from A where a > 100");
+  auto probe = db.Plan("select b from A where a > 100");
+  ASSERT_TRUE(recorded.ok() && probe.ok());
+  cache.RecordEmpty(*recorded);
+  EXPECT_FALSE(cache.CheckEmpty(*probe));
+}
+
+TEST(MvCacheTest, NarrowerPredicateMisses) {
+  // Our method detects a > 500 from a stored a > 100; the baseline cannot.
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto recorded = db.Plan("select * from A where a > 100");
+  auto probe = db.Plan("select * from A where a > 500");
+  ASSERT_TRUE(recorded.ok() && probe.ok());
+  cache.RecordEmpty(*recorded);
+  EXPECT_FALSE(cache.CheckEmpty(*probe));
+}
+
+TEST(MvCacheTest, SupersetJoinMisses) {
+  // sigma(A) empty => sigma(A) x B empty by Theorem 1; exact-match views
+  // cannot conclude this.
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto recorded = db.Plan("select * from A where a > 100");
+  auto probe = db.Plan("select * from A, B where A.c = B.d and A.a > 100");
+  ASSERT_TRUE(recorded.ok() && probe.ok());
+  cache.RecordEmpty(*recorded);
+  EXPECT_FALSE(cache.CheckEmpty(*probe));
+}
+
+TEST(MvCacheTest, PartCombinationMisses) {
+  // The §2.2 example needs combining parts of two different queries —
+  // impossible with whole-query views.
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto q1 = db.Plan("select * from A where a = 150 or b = 130");
+  auto q2 = db.Plan("select * from A where a = 160 or b = 140");
+  auto probe = db.Plan("select * from A where a = 150 or a = 160");
+  ASSERT_TRUE(q1.ok() && q2.ok() && probe.ok());
+  cache.RecordEmpty(*q1);
+  cache.RecordEmpty(*q2);
+  EXPECT_FALSE(cache.CheckEmpty(*probe));
+}
+
+TEST(MvCacheTest, LruEvictionUnderCapacity) {
+  FixtureDb db;
+  MvEmptyCache cache(2);
+  auto a = db.Plan("select * from A where a = 101");
+  auto b = db.Plan("select * from A where a = 102");
+  auto c = db.Plan("select * from A where a = 103");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  cache.RecordEmpty(*a);
+  cache.RecordEmpty(*b);
+  EXPECT_TRUE(cache.CheckEmpty(*a));  // refresh a
+  cache.RecordEmpty(*c);              // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.CheckEmpty(*a));
+  EXPECT_FALSE(cache.CheckEmpty(*b));
+  EXPECT_TRUE(cache.CheckEmpty(*c));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MvCacheTest, RecordingTwiceDoesNotDuplicate) {
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto a = db.Plan("select * from A where a = 101");
+  ASSERT_TRUE(a.ok());
+  cache.RecordEmpty(*a);
+  cache.RecordEmpty(*a);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MvCacheTest, ClearEmpties) {
+  FixtureDb db;
+  MvEmptyCache cache(100);
+  auto a = db.Plan("select * from A where a = 101");
+  ASSERT_TRUE(a.ok());
+  cache.RecordEmpty(*a);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.CheckEmpty(*a));
+}
+
+}  // namespace
+}  // namespace erq

@@ -1,0 +1,190 @@
+#include "plan/optimizer.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace erq {
+namespace {
+
+using erq::testing::FixtureDb;
+
+const PhysicalOperator* FindOp(const PhysOpPtr& root, PhysOpKind kind) {
+  if (root->kind == kind) return root.get();
+  for (const PhysOpPtr& c : root->children) {
+    const PhysicalOperator* found = FindOp(c, kind);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+int CountOps(const PhysOpPtr& root, PhysOpKind kind) {
+  int n = root->kind == kind ? 1 : 0;
+  for (const PhysOpPtr& c : root->children) n += CountOps(c, kind);
+  return n;
+}
+
+TEST(OptimizerTest, TableScanWhenNoIndex) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr plan,
+                           db.Prepare("select * from A where a < 15"));
+  EXPECT_NE(FindOp(plan, PhysOpKind::kTableScan), nullptr);
+  EXPECT_NE(FindOp(plan, PhysOpKind::kFilter), nullptr);
+  EXPECT_EQ(FindOp(plan, PhysOpKind::kIndexScan), nullptr);
+}
+
+TEST(OptimizerTest, IndexScanWhenIndexExists) {
+  FixtureDb db;
+  ASSERT_TRUE(db.catalog().CreateIndex("A", "a").ok());
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr plan,
+                           db.Prepare("select * from A where a = 12"));
+  const PhysicalOperator* scan = FindOp(plan, PhysOpKind::kIndexScan);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->index_column, "a");
+  ASSERT_NE(scan->index_condition, nullptr);
+}
+
+TEST(OptimizerTest, IndexScanDisabledByOption) {
+  FixtureDb db;
+  ASSERT_TRUE(db.catalog().CreateIndex("A", "a").ok());
+  OptimizerOptions options;
+  options.enable_index_scan = false;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan, db.Prepare("select * from A where a = 12", options));
+  EXPECT_EQ(FindOp(plan, PhysOpKind::kIndexScan), nullptr);
+}
+
+TEST(OptimizerTest, EquiJoinUsesHashJoin) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan, db.Prepare("select * from A, B where A.c = B.d"));
+  EXPECT_NE(FindOp(plan, PhysOpKind::kHashJoin), nullptr);
+  EXPECT_EQ(FindOp(plan, PhysOpKind::kNestedLoopsJoin), nullptr);
+}
+
+TEST(OptimizerTest, PreferMergeJoinOption) {
+  FixtureDb db;
+  OptimizerOptions options;
+  options.prefer_merge_join = true;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare("select * from A, B where A.c = B.d", options));
+  EXPECT_NE(FindOp(plan, PhysOpKind::kMergeJoin), nullptr);
+}
+
+TEST(OptimizerTest, NonEquiJoinUsesNestedLoops) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan, db.Prepare("select * from A, B where A.c < B.d"));
+  EXPECT_NE(FindOp(plan, PhysOpKind::kNestedLoopsJoin), nullptr);
+}
+
+TEST(OptimizerTest, CrossProductWhenNoPredicate) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr plan, db.Prepare("select * from A, B"));
+  const PhysicalOperator* nl = FindOp(plan, PhysOpKind::kNestedLoopsJoin);
+  ASSERT_NE(nl, nullptr);
+  EXPECT_EQ(nl->join_condition, nullptr);
+}
+
+TEST(OptimizerTest, ThreeWayJoinProducesTwoJoins) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare(
+          "select * from A, B, C where A.c = B.d and B.d = C.f"));
+  EXPECT_EQ(CountOps(plan, PhysOpKind::kHashJoin), 2);
+  EXPECT_EQ(CountOps(plan, PhysOpKind::kTableScan), 3);
+}
+
+TEST(OptimizerTest, SingleTablePredicatesPushedToAccessPath) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare("select * from A, B where A.c = B.d and A.a < 12"));
+  // The filter on A must sit below the join.
+  const PhysicalOperator* join = FindOp(plan, PhysOpKind::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  bool found_filter_below_join = false;
+  for (const PhysOpPtr& child : join->children) {
+    if (child->kind == PhysOpKind::kFilter) found_filter_below_join = true;
+  }
+  EXPECT_TRUE(found_filter_below_join);
+}
+
+TEST(OptimizerTest, CostsAreCumulativeAndPositive) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan, db.Prepare("select * from A, B where A.c = B.d"));
+  EXPECT_GT(plan->estimated_cost, 0.0);
+  for (const PhysOpPtr& c : plan->children) {
+    EXPECT_LE(c->estimated_cost, plan->estimated_cost);
+  }
+}
+
+TEST(OptimizerTest, CostGrowsWithDataSize) {
+  // Two databases of different sizes: the larger must cost more.
+  auto build = [](int rows) {
+    auto catalog = std::make_unique<Catalog>();
+    auto t = catalog->CreateTable("t", Schema({{"x", DataType::kInt64}}));
+    EXPECT_TRUE(t.ok());
+    for (int i = 0; i < rows; ++i) {
+      t.value()->AppendUnchecked({Value::Int(i)});
+    }
+    return catalog;
+  };
+  auto small = build(100);
+  auto large = build(10000);
+  StatsCatalog small_stats, large_stats;
+  ASSERT_TRUE(small_stats.AnalyzeAll(*small).ok());
+  ASSERT_TRUE(large_stats.AnalyzeAll(*large).ok());
+  auto prepare = [](Catalog* c, StatsCatalog* s) {
+    auto stmt = Parser::Parse("select * from t where x > 5");
+    EXPECT_TRUE(stmt.ok());
+    Planner planner(c);
+    auto planned = planner.PlanStatement(**stmt);
+    EXPECT_TRUE(planned.ok());
+    Optimizer optimizer(c, s);
+    auto plan = optimizer.Optimize(planned->root);
+    EXPECT_TRUE(plan.ok());
+    return plan.value()->estimated_cost;
+  };
+  EXPECT_GT(prepare(large.get(), &large_stats),
+            prepare(small.get(), &small_stats));
+}
+
+TEST(OptimizerTest, AggregateAndSortNodes) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      PhysOpPtr plan,
+      db.Prepare("select c, count(*) from A group by c order by c"));
+  ASSERT_EQ(plan->kind, PhysOpKind::kSort);
+  EXPECT_EQ(plan->children[0]->kind, PhysOpKind::kAggregate);
+}
+
+TEST(OptimizerTest, UnionArityMismatchRejected) {
+  FixtureDb db;
+  auto plan = db.Prepare("select a, b from A union select d from B");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(OptimizerTest, EstimatedRowsReflectSelectivity) {
+  FixtureDb db;
+  // A has 10 rows with distinct `a`; equality should estimate ~1 row.
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr eq_plan,
+                           db.Prepare("select * from A where a = 12"));
+  ERQ_ASSERT_OK_AND_ASSIGN(PhysOpPtr all_plan, db.Prepare("select * from A"));
+  EXPECT_LT(eq_plan->estimated_rows, all_plan->estimated_rows);
+}
+
+TEST(SplitConjunctsTest, FlattensNestedAnds) {
+  using namespace erq::eb;  // NOLINT
+  ExprPtr e = And({And({Eq(Col("t", "a"), Int(1)), Eq(Col("t", "b"), Int(2))}),
+                   Eq(Col("t", "c"), Int(3))});
+  EXPECT_EQ(SplitConjuncts(e).size(), 3u);
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+  EXPECT_EQ(SplitConjuncts(Eq(Col("t", "a"), Int(1))).size(), 1u);
+}
+
+}  // namespace
+}  // namespace erq

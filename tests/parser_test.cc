@@ -1,0 +1,185 @@
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+std::unique_ptr<Statement> MustParse(const std::string& sql) {
+  auto stmt = Parser::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status();
+  return stmt.ok() ? std::move(stmt).value() : nullptr;
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = MustParse("select * from t");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->op, Statement::Op::kSelect);
+  const SelectStatement& s = *stmt->select;
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].kind, SelectItem::Kind::kStar);
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table_name, "t");
+  EXPECT_EQ(s.from[0].alias, "t");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = MustParse("select o.x from orders as o, lineitem l");
+  const SelectStatement& s = *stmt->select;
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "o");
+  EXPECT_EQ(s.from[1].alias, "l");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto stmt = MustParse("select * from t where a = 1 or b = 2 and c = 3");
+  const ExprPtr& w = stmt->select->where;
+  ASSERT_NE(w, nullptr);
+  // OR binds loosest: (a=1) OR (b=2 AND c=3).
+  ASSERT_EQ(w->kind(), Expr::Kind::kOr);
+  ASSERT_EQ(w->children().size(), 2u);
+  EXPECT_EQ(w->child(1)->kind(), Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, NotBetweenInIsNull) {
+  auto stmt = MustParse(
+      "select * from t where not (a < 5) and b between 1 and 2 "
+      "and c not in (1, 2, 3) and d is not null");
+  ASSERT_NE(stmt->select->where, nullptr);
+  EXPECT_EQ(stmt->select->where->kind(), Expr::Kind::kAnd);
+  std::string text = stmt->select->where->ToString();
+  EXPECT_NE(text.find("NOT"), std::string::npos);
+  EXPECT_NE(text.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(text.find("NOT IN"), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto stmt = MustParse(
+      "select * from orders where orderdate = DATE '1995-06-17'");
+  std::string text = stmt->select->where->ToString();
+  EXPECT_NE(text.find("DATE '1995-06-17'"), std::string::npos);
+}
+
+TEST(ParserTest, BadDateRejected) {
+  EXPECT_FALSE(
+      Parser::Parse("select * from t where d = DATE '1999-02-31'").ok());
+}
+
+TEST(ParserTest, InnerJoinDesugarsToWhere) {
+  auto stmt = MustParse(
+      "select * from orders o join lineitem l on o.orderkey = l.orderkey "
+      "where l.partkey = 7");
+  const SelectStatement& s = *stmt->select;
+  ASSERT_EQ(s.from.size(), 2u);
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_EQ(s.where->kind(), Expr::Kind::kAnd);
+  EXPECT_EQ(s.where->children().size(), 2u);
+  EXPECT_TRUE(s.outer_joins.empty());
+}
+
+TEST(ParserTest, LeftOuterJoinKeptStructured) {
+  auto stmt = MustParse(
+      "select * from a left outer join b on a.x = b.y");
+  const SelectStatement& s = *stmt->select;
+  ASSERT_EQ(s.from.size(), 1u);
+  ASSERT_EQ(s.outer_joins.size(), 1u);
+  EXPECT_EQ(s.outer_joins[0].right.table_name, "b");
+  EXPECT_NE(s.outer_joins[0].condition, nullptr);
+}
+
+TEST(ParserTest, RightJoinRejected) {
+  EXPECT_FALSE(
+      Parser::Parse("select * from a right join b on a.x = b.y").ok());
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = MustParse(
+      "select count(*), sum(x), min(x), max(x), avg(x) from t group by y");
+  const SelectStatement& s = *stmt->select;
+  ASSERT_EQ(s.items.size(), 5u);
+  EXPECT_EQ(s.items[0].kind, SelectItem::Kind::kAggregate);
+  EXPECT_TRUE(s.items[0].count_star);
+  EXPECT_EQ(s.items[1].agg, AggFunc::kSum);
+  EXPECT_EQ(s.items[4].agg, AggFunc::kAvg);
+  EXPECT_EQ(s.group_by.size(), 1u);
+}
+
+TEST(ParserTest, StarOnlyForCount) {
+  EXPECT_FALSE(Parser::Parse("select sum(*) from t").ok());
+}
+
+TEST(ParserTest, OrderByDistinct) {
+  auto stmt = MustParse(
+      "select distinct a from t order by a desc, b asc, c");
+  const SelectStatement& s = *stmt->select;
+  EXPECT_TRUE(s.distinct);
+  ASSERT_EQ(s.order_by.size(), 3u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+  EXPECT_TRUE(s.order_by[2].ascending);
+}
+
+TEST(ParserTest, UnionExceptTree) {
+  auto stmt = MustParse(
+      "select a from t union select a from u except all select a from v");
+  // Left-associative: (t UNION u) EXCEPT ALL v.
+  ASSERT_EQ(stmt->op, Statement::Op::kExcept);
+  EXPECT_TRUE(stmt->all);
+  ASSERT_EQ(stmt->left->op, Statement::Op::kUnion);
+  EXPECT_FALSE(stmt->left->all);
+  EXPECT_EQ(stmt->right->op, Statement::Op::kSelect);
+}
+
+TEST(ParserTest, ParenthesizedSetOperand) {
+  auto stmt = MustParse("(select a from t) union (select a from u)");
+  EXPECT_EQ(stmt->op, Statement::Op::kUnion);
+}
+
+TEST(ParserTest, ArithmeticExpressions) {
+  auto e = Parser::ParseExpression("a.x + 2 * b.y - 3");
+  ASSERT_TRUE(e.ok());
+  // Precedence: (a.x + (2 * b.y)) - 3.
+  EXPECT_EQ((*e)->kind(), Expr::Kind::kArith);
+  EXPECT_EQ((*e)->arith_op(), ArithOp::kSub);
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto e = Parser::ParseExpression("x < -5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->child(1)->kind(), Expr::Kind::kLiteral);
+  EXPECT_EQ((*e)->child(1)->value().AsInt(), -5);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(Parser::Parse("select * from t garbage garbage").ok());
+  EXPECT_FALSE(Parser::Parse("select * from").ok());
+  EXPECT_FALSE(Parser::Parse("select from t").ok());
+  EXPECT_FALSE(Parser::Parse("").ok());
+}
+
+TEST(ParserTest, PaperQ1Shape) {
+  // The paper's Q1 (§3.1).
+  auto stmt = MustParse(
+      "select * from orders o, lineitem l "
+      "where o.orderkey=l.orderkey "
+      "and (o.orderdate=DATE '1995-01-01' or o.orderdate=DATE '1995-01-02') "
+      "and (l.partkey=11 or l.partkey=12)");
+  const SelectStatement& s = *stmt->select;
+  EXPECT_EQ(s.from.size(), 2u);
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind(), Expr::Kind::kAnd);
+  EXPECT_EQ(s.where->children().size(), 3u);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto stmt = MustParse("select a, b from t where a = 1 order by b desc");
+  std::string text = stmt->ToString();
+  auto reparsed = Parser::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ((*reparsed)->ToString(), text);
+}
+
+}  // namespace
+}  // namespace erq

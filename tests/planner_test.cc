@@ -1,0 +1,137 @@
+#include "plan/planner.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace erq {
+namespace {
+
+using erq::testing::FixtureDb;
+
+TEST(PlannerTest, SimpleSelectShape) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan,
+                           db.Plan("select a from A where a < 15"));
+  // Project(Filter(Scan)).
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  ASSERT_EQ(plan->children[0]->kind, LogicalOpKind::kFilter);
+  EXPECT_EQ(plan->children[0]->children[0]->kind, LogicalOpKind::kScan);
+}
+
+TEST(PlannerTest, JoinTreeLeftDeep) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      db.Plan("select * from A, B, C where A.c = B.d and B.d = C.f"));
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  const LogicalOpPtr& filter = plan->children[0];
+  ASSERT_EQ(filter->kind, LogicalOpKind::kFilter);
+  const LogicalOpPtr& join = filter->children[0];
+  ASSERT_EQ(join->kind, LogicalOpKind::kJoin);
+  EXPECT_EQ(join->children[0]->kind, LogicalOpKind::kJoin);
+  EXPECT_EQ(join->children[1]->kind, LogicalOpKind::kScan);
+  std::vector<std::pair<std::string, std::string>> scans;
+  plan->CollectScans(&scans);
+  ASSERT_EQ(scans.size(), 3u);
+  EXPECT_EQ(scans[0].second, "A");
+  EXPECT_EQ(scans[2].second, "C");
+}
+
+TEST(PlannerTest, QualifiesUnqualifiedColumns) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan,
+                           db.Plan("select * from A where b = 100"));
+  const ExprPtr& pred = plan->children[0]->predicate;
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->child(0)->qualifier(), "A");
+}
+
+TEST(PlannerTest, AmbiguousColumnRejected) {
+  FixtureDb db;
+  // Self-join: "a" is ambiguous between x and y.
+  auto plan = db.Plan("select * from A x, A y where a = 1");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kBindError);
+}
+
+TEST(PlannerTest, UnknownTableAndColumnRejected) {
+  FixtureDb db;
+  EXPECT_FALSE(db.Plan("select * from nope").ok());
+  EXPECT_FALSE(db.Plan("select * from A where zz = 1").ok());
+}
+
+TEST(PlannerTest, DuplicateAliasRejected) {
+  FixtureDb db;
+  EXPECT_FALSE(db.Plan("select * from A x, B x").ok());
+}
+
+TEST(PlannerTest, TypeMismatchRejectedAtBind) {
+  FixtureDb db;
+  auto plan = db.Plan("select * from A where a = 'text'");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kBindError);
+}
+
+TEST(PlannerTest, AggregatePlan) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      db.Plan("select c, count(*) from A group by c"));
+  ASSERT_EQ(plan->kind, LogicalOpKind::kAggregate);
+  EXPECT_EQ(plan->group_by.size(), 1u);
+}
+
+TEST(PlannerTest, DistinctAndSortOnTop) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan, db.Plan("select distinct a from A order by a"));
+  ASSERT_EQ(plan->kind, LogicalOpKind::kSort);
+  EXPECT_EQ(plan->children[0]->kind, LogicalOpKind::kDistinct);
+}
+
+TEST(PlannerTest, SetOps) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      db.Plan("select a from A union select d from B"));
+  ASSERT_EQ(plan->kind, LogicalOpKind::kUnion);
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr except,
+      db.Plan("select a from A except select d from B"));
+  EXPECT_EQ(except->kind, LogicalOpKind::kExcept);
+}
+
+TEST(PlannerTest, OuterJoinPlan) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      LogicalOpPtr plan,
+      db.Plan("select * from A left outer join B on A.c = B.d"));
+  ASSERT_EQ(plan->kind, LogicalOpKind::kProject);
+  EXPECT_EQ(plan->children[0]->kind, LogicalOpKind::kOuterJoin);
+}
+
+TEST(PlannerTest, CanonicalRelationMapHandlesSelfJoins) {
+  FixtureDb db;
+  Planner planner(&db.catalog());
+  auto stmt = Parser::Parse("select * from A x, A y, B where x.a = y.a");
+  ASSERT_TRUE(stmt.ok());
+  ERQ_ASSERT_OK_AND_ASSIGN(PlannedQuery planned,
+                           planner.PlanStatement(**stmt));
+  auto map = planned.scope.CanonicalRelationMap();
+  EXPECT_EQ(map.at("x"), "a");
+  EXPECT_EQ(map.at("y"), "a#2");
+  EXPECT_EQ(map.at("b"), "b");
+}
+
+TEST(PlannerTest, ToStringRendersTree) {
+  FixtureDb db;
+  ERQ_ASSERT_OK_AND_ASSIGN(LogicalOpPtr plan,
+                           db.Plan("select a from A where a < 15"));
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Project"), std::string::npos);
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace erq

@@ -1,0 +1,158 @@
+// Soundness property for the occurrence-remapping extension of
+// AtomicQueryPart::Covers: whenever stored.Covers(query) holds — by the
+// literal rule or via remapping — the Theorem-2 implication must hold on
+// concrete data. We verify it semantically: evaluate both parts as
+// products over a small universe of rows per base table; if the stored
+// part's output is empty, the covered query part's output must be empty.
+
+#include <random>
+
+#include "core/atomic_query_part.h"
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+// Universe: one base table "r" with a single column x over a tiny domain,
+// plus parts over occurrences {r, r#2}. Evaluating sigma_cond(r x r#2)
+// over all (x1, x2) pairs is exhaustive.
+
+PrimitiveTerm RandomTerm(std::mt19937_64& rng, const std::string& occurrence) {
+  ColumnId col = ColumnId::Make(occurrence, "x");
+  switch (rng() % 3) {
+    case 0:
+      return PrimitiveTerm::MakeInterval(
+          col, ValueInterval::Point(Value::Int(static_cast<int64_t>(rng() % 6))));
+    case 1: {
+      int64_t lo = static_cast<int64_t>(rng() % 6);
+      return PrimitiveTerm::MakeInterval(
+          col, ValueInterval::Range(Value::Int(lo), rng() % 2 == 0,
+                                    Value::Int(lo + static_cast<int64_t>(
+                                                        rng() % 4)),
+                                    rng() % 2 == 0));
+    }
+    default:
+      return PrimitiveTerm::MakeColCol(
+          ColumnId::Make("r", "x"), static_cast<CompareOp>(rng() % 6),
+          ColumnId::Make("r#2", "x"));
+  }
+}
+
+AtomicQueryPart RandomPart(std::mt19937_64& rng, bool two_occurrences) {
+  std::vector<std::string> rels = {"r"};
+  if (two_occurrences) rels.push_back("r#2");
+  std::vector<PrimitiveTerm> terms;
+  size_t n = 1 + rng() % 3;
+  for (size_t i = 0; i < n; ++i) {
+    std::string occ = two_occurrences && rng() % 2 == 0 ? "r#2" : "r";
+    PrimitiveTerm t = RandomTerm(rng, occ);
+    // Col-col terms mention both occurrences; only usable in 2-occ parts.
+    if (!two_occurrences && t.kind() == PrimitiveTerm::Kind::kColCol) {
+      t = PrimitiveTerm::MakeInterval(
+          ColumnId::Make("r", "x"),
+          ValueInterval::Point(Value::Int(static_cast<int64_t>(rng() % 6))));
+    }
+    terms.push_back(std::move(t));
+  }
+  return AtomicQueryPart(RelationSet(std::move(rels)),
+                         Conjunction::Make(std::move(terms)));
+}
+
+/// Evaluates one term under the assignment (x1 for occurrence "r", x2 for
+/// "r#2"). Single-occurrence parts only consult x1.
+bool TermHolds(const PrimitiveTerm& t, int64_t x1, int64_t x2) {
+  auto value_of = [&](const ColumnId& col) {
+    return Value::Int(col.relation == "r#2" ? x2 : x1);
+  };
+  switch (t.kind()) {
+    case PrimitiveTerm::Kind::kInterval:
+      return t.interval().ContainsPoint(value_of(t.column()));
+    case PrimitiveTerm::Kind::kNotEqual:
+      return value_of(t.column()) != t.value();
+    case PrimitiveTerm::Kind::kColCol: {
+      Value a = value_of(t.column());
+      Value b = value_of(t.rhs_column());
+      int c = a.Compare(b);
+      switch (t.compare_op()) {
+        case CompareOp::kEq:
+          return c == 0;
+        case CompareOp::kNe:
+          return c != 0;
+        case CompareOp::kLt:
+          return c < 0;
+        case CompareOp::kLe:
+          return c <= 0;
+        case CompareOp::kGt:
+          return c > 0;
+        case CompareOp::kGe:
+          return c >= 0;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Output of the part on the database where base table r holds exactly
+/// `rows` (as x values): is any tuple combination accepted?
+bool PartNonEmpty(const AtomicQueryPart& part, const std::vector<int64_t>& rows) {
+  bool two = part.relations().Contains("r#2");
+  for (int64_t x1 : rows) {
+    if (two) {
+      for (int64_t x2 : rows) {
+        bool all = true;
+        for (const PrimitiveTerm& t : part.condition().terms()) {
+          if (!TermHolds(t, x1, x2)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+    } else {
+      bool all = true;
+      for (const PrimitiveTerm& t : part.condition().terms()) {
+        if (!TermHolds(t, x1, x1)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+  }
+  return false;
+}
+
+class RemapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RemapPropertyTest, CoversImpliesTheorem2OnConcreteData) {
+  std::mt19937_64 rng(GetParam());
+  size_t covers_seen = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    AtomicQueryPart stored = RandomPart(rng, rng() % 3 == 0);
+    AtomicQueryPart query = RandomPart(rng, true);
+    if (!stored.Covers(query)) continue;
+    ++covers_seen;
+    // Random small databases; Theorem 2 must hold on each.
+    for (int db = 0; db < 6; ++db) {
+      std::vector<int64_t> rows;
+      size_t n = rng() % 5;
+      for (size_t i = 0; i < n; ++i) {
+        rows.push_back(static_cast<int64_t>(rng() % 8));
+      }
+      if (!PartNonEmpty(stored, rows)) {
+        ASSERT_FALSE(PartNonEmpty(query, rows))
+            << "Theorem 2 violated:\n  stored: " << stored.ToString()
+            << "\n  query:  " << query.ToString();
+      }
+    }
+  }
+  EXPECT_GT(covers_seen, 10u) << "property test exercised too few covers";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemapPropertyTest,
+                         ::testing::Values(3, 5, 8, 13));
+
+}  // namespace
+}  // namespace erq

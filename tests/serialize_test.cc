@@ -1,0 +1,147 @@
+#include "core/serialize.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "types/date.h"
+
+namespace erq {
+namespace {
+
+AtomicQueryPart SamplePart() {
+  return AtomicQueryPart(
+      RelationSet({"orders", "lineitem"}),
+      Conjunction::Make(
+          {PrimitiveTerm::MakeInterval(
+               ColumnId::Make("orders", "orderdate"),
+               ValueInterval::Point(Value::Date(9300))),
+           PrimitiveTerm::MakeColCol(ColumnId::Make("orders", "orderkey"),
+                                     CompareOp::kEq,
+                                     ColumnId::Make("lineitem", "orderkey")),
+           PrimitiveTerm::MakeNotEqual(ColumnId::Make("lineitem", "partkey"),
+                                       Value::Int(7))}));
+}
+
+TEST(SerializeTest, PartRoundTrip) {
+  AtomicQueryPart original = SamplePart();
+  auto line = SerializePart(original);
+  ASSERT_TRUE(line.ok()) << line.status();
+  auto parsed = ParsePart(*line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\nline: " << *line;
+  EXPECT_TRUE(original.Equals(*parsed))
+      << "original: " << original.ToString()
+      << "\nparsed:   " << parsed->ToString();
+}
+
+TEST(SerializeTest, AllValueTypesRoundTrip) {
+  for (const Value& v :
+       {Value::Int(-42), Value::Double(3.25), Value::Double(-1e100),
+        Value::String("it's got ; | and \n inside"), Value::String(""),
+        Value::Date(12345)}) {
+    AtomicQueryPart part(
+        RelationSet({"t"}),
+        Conjunction::Make({PrimitiveTerm::MakeInterval(
+            ColumnId::Make("t", "x"), ValueInterval::Point(v))}));
+    auto line = SerializePart(part);
+    ASSERT_TRUE(line.ok()) << v.ToString();
+    auto parsed = ParsePart(*line);
+    ASSERT_TRUE(parsed.ok()) << *line;
+    EXPECT_TRUE(part.Equals(*parsed)) << v.ToString();
+  }
+}
+
+TEST(SerializeTest, IntervalShapesRoundTrip) {
+  for (const ValueInterval& iv :
+       {ValueInterval::All(), ValueInterval::LessThan(Value::Int(5), true),
+        ValueInterval::LessThan(Value::Int(5), false),
+        ValueInterval::GreaterThan(Value::Int(5), true),
+        ValueInterval::Range(Value::Int(1), false, Value::Int(9), true)}) {
+    AtomicQueryPart part(
+        RelationSet({"t"}),
+        Conjunction::Make({PrimitiveTerm::MakeInterval(
+            ColumnId::Make("t", "x"), iv)}));
+    auto line = SerializePart(part);
+    ASSERT_TRUE(line.ok());
+    auto parsed = ParsePart(*line);
+    ASSERT_TRUE(parsed.ok()) << *line;
+    EXPECT_TRUE(part.Equals(*parsed)) << iv.ToString();
+  }
+}
+
+TEST(SerializeTest, OpaquePartsAreSkippedNotMangled) {
+  using namespace erq::eb;  // NOLINT
+  AtomicQueryPart opaque(
+      RelationSet({"t"}),
+      Conjunction::Make({PrimitiveTerm::MakeOpaque(
+          Lt(Col("t", "x"), Add(Col("t", "y"), Int(1))))}));
+  EXPECT_FALSE(SerializePart(opaque).ok());
+
+  CaqpCache cache(100);
+  cache.Insert(opaque);
+  cache.Insert(SamplePart());
+  size_t skipped = 0;
+  std::string text = SerializeCache(cache, &skipped);
+  EXPECT_EQ(skipped, 1u);
+
+  CaqpCache restored(100);
+  auto n = DeserializeInto(text, &restored);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+  EXPECT_TRUE(restored.CoveredBy(SamplePart()));
+}
+
+TEST(SerializeTest, CacheRoundTripPreservesCoverage) {
+  CaqpCache cache(1000);
+  for (int64_t i = 0; i < 50; ++i) {
+    cache.Insert(AtomicQueryPart(
+        RelationSet({"t"}),
+        Conjunction::Make({PrimitiveTerm::MakeInterval(
+            ColumnId::Make("t", "x"),
+            ValueInterval::Point(Value::Int(i)))})));
+  }
+  std::string text = SerializeCache(cache);
+  CaqpCache restored(1000);
+  auto n = DeserializeInto(text, &restored);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 50u);
+  EXPECT_EQ(restored.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) {
+    AtomicQueryPart probe(
+        RelationSet({"t"}),
+        Conjunction::Make({PrimitiveTerm::MakeInterval(
+            ColumnId::Make("t", "x"),
+            ValueInterval::Point(Value::Int(i)))}));
+    EXPECT_TRUE(restored.CoveredBy(probe)) << i;
+  }
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  CaqpCache cache(10);
+  auto n = DeserializeInto("# header comment\n\n  \n", &cache);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(SerializeTest, MalformedInputRejected) {
+  CaqpCache cache(10);
+  EXPECT_FALSE(DeserializeInto("not an aqp line", &cache).ok());
+  EXPECT_FALSE(DeserializeInto("aqp v1 t", &cache).ok());           // no bar
+  EXPECT_FALSE(DeserializeInto("aqp v1  | iv t.x none none", &cache).ok());
+  EXPECT_FALSE(
+      DeserializeInto("aqp v1 t | iv t.x ge zz:1 none", &cache).ok());
+  EXPECT_FALSE(DeserializeInto("aqp v1 t | xy t.x", &cache).ok());
+  EXPECT_FALSE(DeserializeInto("aqp v1 t | cc t.x ?? t.y", &cache).ok());
+}
+
+TEST(SerializeTest, TrueConditionPartRoundTrips) {
+  // A part with an empty conjunction ("the relation itself is empty").
+  AtomicQueryPart part(RelationSet({"t"}), Conjunction{});
+  auto line = SerializePart(part);
+  ASSERT_TRUE(line.ok());
+  auto parsed = ParsePart(*line);
+  ASSERT_TRUE(parsed.ok()) << *line;
+  EXPECT_TRUE(part.Equals(*parsed));
+}
+
+}  // namespace
+}  // namespace erq

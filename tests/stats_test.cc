@@ -1,0 +1,133 @@
+#include "stats/analyzer.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+std::vector<Value> IntValues(int64_t lo, int64_t hi) {
+  std::vector<Value> out;
+  for (int64_t i = lo; i < hi; ++i) out.push_back(Value::Int(i));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.FractionBelow(Value::Int(5)), 0.0);
+}
+
+TEST(HistogramTest, FractionBelowUniform) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build(IntValues(0, 1000), 10);
+  EXPECT_EQ(h.num_buckets(), 10u);
+  EXPECT_NEAR(h.FractionBelow(Value::Int(500)), 0.5, 0.05);
+  EXPECT_NEAR(h.FractionBelow(Value::Int(100)), 0.1, 0.05);
+  EXPECT_EQ(h.FractionBelow(Value::Int(-5)), 0.0);
+  EXPECT_EQ(h.FractionBelow(Value::Int(5000)), 1.0);
+}
+
+TEST(HistogramTest, FractionInRange) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build(IntValues(0, 1000), 16);
+  double frac = h.FractionInRange(Value::Int(250), true, Value::Int(750),
+                                  true, 1000.0);
+  EXPECT_NEAR(frac, 0.5, 0.06);
+  // Degenerate empty range.
+  EXPECT_NEAR(
+      h.FractionInRange(Value::Int(700), true, Value::Int(200), true, 1000.0),
+      0.0, 1e-9);
+}
+
+TEST(HistogramTest, FractionEqualUsesNdv) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build(IntValues(0, 100), 8);
+  EXPECT_NEAR(h.FractionEqual(Value::Int(50), 100.0), 0.01, 1e-9);
+  EXPECT_EQ(h.FractionEqual(Value::Int(-1), 100.0), 0.0);
+}
+
+TEST(ColumnStatsTest, Selectivities) {
+  ColumnStats cs;
+  cs.row_count = 100;
+  cs.null_count = 0;
+  cs.ndv = 100;
+  cs.min = Value::Int(0);
+  cs.max = Value::Int(99);
+  cs.histogram = EquiDepthHistogram::Build(IntValues(0, 100), 10);
+  EXPECT_NEAR(cs.EqualsSelectivity(Value::Int(5)), 0.01, 1e-9);
+  EXPECT_EQ(cs.EqualsSelectivity(Value::Int(500)), 0.0);
+  EXPECT_NEAR(cs.RangeSelectivity(Value::Int(0), true, Value::Int(49), true),
+              0.5, 0.07);
+  EXPECT_NEAR(cs.NotEqualsSelectivity(Value::Int(5)), 0.99, 1e-6);
+}
+
+TEST(ColumnStatsTest, NullFraction) {
+  ColumnStats cs;
+  cs.row_count = 10;
+  cs.null_count = 4;
+  EXPECT_NEAR(cs.null_fraction(), 0.4, 1e-9);
+}
+
+TEST(AnalyzerTest, AnalyzeTableBuildsStats) {
+  Catalog catalog;
+  auto t = catalog.CreateTable(
+      "t", Schema({{"x", DataType::kInt64}, {"s", DataType::kString}}));
+  ASSERT_TRUE(t.ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    t.value()->AppendUnchecked(
+        {Value::Int(i % 10), i % 5 == 0 ? Value::Null()
+                                        : Value::String("v")});
+  }
+  StatsCatalog stats(8);
+  ASSERT_TRUE(stats.AnalyzeAll(catalog).ok());
+  EXPECT_EQ(stats.GetRowCount("t"), 50u);
+  EXPECT_TRUE(stats.HasTableStats("T"));
+  const ColumnStats* x = stats.GetColumnStats("t", "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->ndv, 10.0);
+  EXPECT_EQ(x->min->AsInt(), 0);
+  EXPECT_EQ(x->max->AsInt(), 9);
+  const ColumnStats* s = stats.GetColumnStats("t", "s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->null_count, 10u);
+}
+
+TEST(AnalyzerTest, InvalidateDropsStats) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("t", Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  t.value()->AppendUnchecked({Value::Int(1)});
+  StatsCatalog stats;
+  ASSERT_TRUE(stats.AnalyzeAll(catalog).ok());
+  ASSERT_NE(stats.GetColumnStats("t", "x"), nullptr);
+  stats.Invalidate("t");
+  EXPECT_EQ(stats.GetColumnStats("t", "x"), nullptr);
+  EXPECT_FALSE(stats.HasTableStats("t"));
+}
+
+TEST(AnalyzerTest, UnknownTableErrors) {
+  Catalog catalog;
+  StatsCatalog stats;
+  EXPECT_FALSE(stats.AnalyzeTable(catalog, "nope").ok());
+  EXPECT_EQ(stats.GetRowCount("nope"), 0u);
+}
+
+class HistogramBucketsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HistogramBucketsTest, MonotoneFractionBelow) {
+  EquiDepthHistogram h =
+      EquiDepthHistogram::Build(IntValues(0, 500), GetParam());
+  double prev = -1.0;
+  for (int64_t v = -10; v <= 510; v += 25) {
+    double f = h.FractionBelow(Value::Int(v));
+    EXPECT_GE(f, prev) << "at v=" << v;
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, HistogramBucketsTest,
+                         ::testing::Values(1, 2, 4, 16, 64, 500, 1000));
+
+}  // namespace
+}  // namespace erq

@@ -1,0 +1,160 @@
+#include "workload/trace.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "types/date.h"
+
+namespace erq {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    TpcrConfig config;
+    config.scale = 1.0;
+    config.customers_per_unit = 200;  // small but structured
+    config.seed = 123;
+    auto inst = BuildTpcr(&catalog_, config);
+    EXPECT_TRUE(inst.ok()) << inst.status();
+    instance_ = *inst;
+    EXPECT_TRUE(stats_.AnalyzeAll(catalog_).ok());
+  }
+
+  StatusOr<ExecutionResult> Run(const std::string& sql) {
+    ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parser::Parse(sql));
+    Planner planner(&catalog_);
+    ERQ_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanStatement(*stmt));
+    Optimizer optimizer(&catalog_, &stats_);
+    ERQ_ASSIGN_OR_RETURN(PhysOpPtr physical, optimizer.Optimize(planned.root));
+    return Executor::Run(physical);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  TpcrInstance instance_;
+};
+
+TEST_F(WorkloadTest, PaperRowRatiosPreserved) {
+  // 1 : 10 : 40 per the paper's match ratios.
+  EXPECT_EQ(instance_.customer->num_rows(), 200u);
+  EXPECT_EQ(instance_.orders->num_rows(), 2000u);
+  EXPECT_EQ(instance_.lineitem->num_rows(), 8000u);
+}
+
+TEST_F(WorkloadTest, ScaleFactorScalesLinearly) {
+  Catalog catalog2;
+  TpcrConfig config;
+  config.scale = 2.0;
+  config.customers_per_unit = 200;
+  auto inst = BuildTpcr(&catalog2, config);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->customer->num_rows(), 400u);
+  EXPECT_EQ(inst->lineitem->num_rows(), 16000u);
+}
+
+TEST_F(WorkloadTest, MatchRatiosHold) {
+  // Every order's custkey matches an existing customer; every lineitem's
+  // orderkey an existing order.
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      ExecutionResult joined,
+      Run("select count(*) from orders o, customer c "
+          "where o.custkey = c.custkey"));
+  EXPECT_EQ(joined.rows[0][0].AsInt(), 2000);
+  ERQ_ASSERT_OK_AND_ASSIGN(
+      ExecutionResult li,
+      Run("select count(*) from lineitem l, orders o "
+          "where l.orderkey = o.orderkey"));
+  EXPECT_EQ(li.rows[0][0].AsInt(), 8000);
+}
+
+TEST_F(WorkloadTest, IndexesCreated) {
+  ERQ_ASSERT_OK(BuildTpcrIndexes(&catalog_));
+  EXPECT_NE(catalog_.FindIndex("orders", "orderdate"), nullptr);
+  EXPECT_NE(catalog_.FindIndex("lineitem", "partkey"), nullptr);
+  EXPECT_NE(catalog_.FindIndex("customer", "nationkey"), nullptr);
+}
+
+TEST_F(WorkloadTest, EmptyQ1IsActuallyEmptyAndMinimal) {
+  QueryGenerator gen(&instance_, 99);
+  for (int i = 0; i < 5; ++i) {
+    Q1Spec spec = gen.GenerateQ1(2, 2, /*want_empty=*/true);
+    EXPECT_EQ(spec.CombinationFactor(), 4u);
+    ERQ_ASSERT_OK_AND_ASSIGN(ExecutionResult r, Run(spec.ToSql()));
+    EXPECT_TRUE(r.rows.empty()) << spec.ToSql();
+    // Minimality: each selection alone matches rows.
+    for (int32_t d : spec.dates) {
+      ERQ_ASSERT_OK_AND_ASSIGN(
+          ExecutionResult dates,
+          Run("select * from orders where orderdate = DATE '" +
+              DateToString(d) + "'"));
+      EXPECT_FALSE(dates.rows.empty());
+    }
+    for (int64_t p : spec.parts) {
+      ERQ_ASSERT_OK_AND_ASSIGN(
+          ExecutionResult parts,
+          Run("select * from lineitem where partkey = " + std::to_string(p)));
+      EXPECT_FALSE(parts.rows.empty());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, NonEmptyQ1HasRows) {
+  QueryGenerator gen(&instance_, 7);
+  for (int i = 0; i < 5; ++i) {
+    Q1Spec spec = gen.GenerateQ1(2, 2, /*want_empty=*/false);
+    ERQ_ASSERT_OK_AND_ASSIGN(ExecutionResult r, Run(spec.ToSql()));
+    EXPECT_FALSE(r.rows.empty()) << spec.ToSql();
+  }
+}
+
+TEST_F(WorkloadTest, EmptyQ2IsActuallyEmpty) {
+  QueryGenerator gen(&instance_, 55);
+  for (int i = 0; i < 3; ++i) {
+    Q2Spec spec = gen.GenerateQ2(2, 1, 2, /*want_empty=*/true);
+    EXPECT_EQ(spec.CombinationFactor(), 4u);
+    ERQ_ASSERT_OK_AND_ASSIGN(ExecutionResult r, Run(spec.ToSql()));
+    EXPECT_TRUE(r.rows.empty()) << spec.ToSql();
+  }
+}
+
+TEST_F(WorkloadTest, NonEmptyQ2HasRows) {
+  QueryGenerator gen(&instance_, 56);
+  Q2Spec spec = gen.GenerateQ2(1, 1, 1, /*want_empty=*/false);
+  ERQ_ASSERT_OK_AND_ASSIGN(ExecutionResult r, Run(spec.ToSql()));
+  EXPECT_FALSE(r.rows.empty()) << spec.ToSql();
+}
+
+TEST_F(WorkloadTest, DatasetSummaryMatchesTables) {
+  DatasetSummary summary = SummarizeDataset(instance_);
+  EXPECT_EQ(summary.customer_rows, 200u);
+  EXPECT_EQ(summary.lineitem_rows, 8000u);
+  EXPECT_GT(summary.orders_bytes, 0u);
+}
+
+TEST_F(WorkloadTest, CrmTraceMatchesPublishedRatios) {
+  TraceConfig config;
+  config.total_queries = 1879;
+  std::vector<TraceQuery> trace = GenerateCrmTrace(instance_, config);
+  TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.total, 1879u);
+  // 18.07% empty (within rounding of the integer truncation).
+  EXPECT_NEAR(static_cast<double>(stats.empty) / stats.total, 0.1807, 0.002);
+  // Distinct / total empty ratio ~ 1287/3396 = 0.379.
+  EXPECT_NEAR(
+      static_cast<double>(stats.distinct_empty) / stats.empty, 0.379, 0.02);
+  // Repeats = empty - distinct: the paper's >= 11% saving potential.
+  EXPECT_GT(stats.repeated_empty, 0u);
+}
+
+TEST_F(WorkloadTest, TraceQueriesHaveCorrectEmptiness) {
+  TraceConfig config;
+  config.total_queries = 60;
+  std::vector<TraceQuery> trace = GenerateCrmTrace(instance_, config);
+  for (const TraceQuery& q : trace) {
+    ERQ_ASSERT_OK_AND_ASSIGN(ExecutionResult r, Run(q.sql));
+    EXPECT_EQ(r.rows.empty(), q.expect_empty) << q.sql;
+  }
+}
+
+}  // namespace
+}  // namespace erq
