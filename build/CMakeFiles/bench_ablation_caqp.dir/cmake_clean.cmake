@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_caqp.dir/bench/bench_ablation_caqp.cc.o"
+  "CMakeFiles/bench_ablation_caqp.dir/bench/bench_ablation_caqp.cc.o.d"
+  "bench/bench_ablation_caqp"
+  "bench/bench_ablation_caqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_caqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

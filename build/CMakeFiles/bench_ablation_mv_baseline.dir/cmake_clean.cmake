@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mv_baseline.dir/bench/bench_ablation_mv_baseline.cc.o"
+  "CMakeFiles/bench_ablation_mv_baseline.dir/bench/bench_ablation_mv_baseline.cc.o.d"
+  "bench/bench_ablation_mv_baseline"
+  "bench/bench_ablation_mv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

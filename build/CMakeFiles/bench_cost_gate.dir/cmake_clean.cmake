@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_gate.dir/bench/bench_cost_gate.cc.o"
+  "CMakeFiles/bench_cost_gate.dir/bench/bench_cost_gate.cc.o.d"
+  "bench/bench_cost_gate"
+  "bench/bench_cost_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_case3.dir/bench/bench_fig12_case3.cc.o"
+  "CMakeFiles/bench_fig12_case3.dir/bench/bench_fig12_case3.cc.o.d"
+  "bench/bench_fig12_case3"
+  "bench/bench_fig12_case3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_case3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

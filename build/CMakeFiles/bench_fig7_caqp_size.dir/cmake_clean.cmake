@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_caqp_size.dir/bench/bench_fig7_caqp_size.cc.o"
+  "CMakeFiles/bench_fig7_caqp_size.dir/bench/bench_fig7_caqp_size.cc.o.d"
+  "bench/bench_fig7_caqp_size"
+  "bench/bench_fig7_caqp_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_caqp_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_combination_factor.dir/bench/bench_fig8_combination_factor.cc.o"
+  "CMakeFiles/bench_fig8_combination_factor.dir/bench/bench_fig8_combination_factor.cc.o.d"
+  "bench/bench_fig8_combination_factor"
+  "bench/bench_fig8_combination_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_combination_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

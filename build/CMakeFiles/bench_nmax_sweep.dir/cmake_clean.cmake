@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nmax_sweep.dir/bench/bench_nmax_sweep.cc.o"
+  "CMakeFiles/bench_nmax_sweep.dir/bench/bench_nmax_sweep.cc.o.d"
+  "bench/bench_nmax_sweep"
+  "bench/bench_nmax_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nmax_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_replay.dir/bench/bench_trace_replay.cc.o"
+  "CMakeFiles/bench_trace_replay.dir/bench/bench_trace_replay.cc.o.d"
+  "bench/bench_trace_replay"
+  "bench/bench_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

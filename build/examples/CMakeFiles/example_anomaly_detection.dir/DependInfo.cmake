@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/anomaly_detection.cpp" "examples/CMakeFiles/example_anomaly_detection.dir/anomaly_detection.cpp.o" "gcc" "examples/CMakeFiles/example_anomaly_detection.dir/anomaly_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/erq_mv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

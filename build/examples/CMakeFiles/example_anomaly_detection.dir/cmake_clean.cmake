@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anomaly_detection.dir/anomaly_detection.cpp.o"
+  "CMakeFiles/example_anomaly_detection.dir/anomaly_detection.cpp.o.d"
+  "example_anomaly_detection"
+  "example_anomaly_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_erq_shell.dir/erq_shell.cpp.o"
+  "CMakeFiles/example_erq_shell.dir/erq_shell.cpp.o.d"
+  "example_erq_shell"
+  "example_erq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_erq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_homefinder.dir/homefinder.cpp.o"
+  "CMakeFiles/example_homefinder.dir/homefinder.cpp.o.d"
+  "example_homefinder"
+  "example_homefinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_homefinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interactive_exploration.dir/interactive_exploration.cpp.o"
+  "CMakeFiles/example_interactive_exploration.dir/interactive_exploration.cpp.o.d"
+  "example_interactive_exploration"
+  "example_interactive_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interactive_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

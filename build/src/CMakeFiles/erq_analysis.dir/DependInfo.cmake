@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/detection_model.cc" "src/CMakeFiles/erq_analysis.dir/analysis/detection_model.cc.o" "gcc" "src/CMakeFiles/erq_analysis.dir/analysis/detection_model.cc.o.d"
+  "/root/repo/src/analysis/monte_carlo.cc" "src/CMakeFiles/erq_analysis.dir/analysis/monte_carlo.cc.o" "gcc" "src/CMakeFiles/erq_analysis.dir/analysis/monte_carlo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/erq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

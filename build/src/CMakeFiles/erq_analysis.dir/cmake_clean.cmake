@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_analysis.dir/analysis/detection_model.cc.o"
+  "CMakeFiles/erq_analysis.dir/analysis/detection_model.cc.o.d"
+  "CMakeFiles/erq_analysis.dir/analysis/monte_carlo.cc.o"
+  "CMakeFiles/erq_analysis.dir/analysis/monte_carlo.cc.o.d"
+  "liberq_analysis.a"
+  "liberq_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/erq_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/erq_catalog.dir/catalog/index.cc.o"
+  "CMakeFiles/erq_catalog.dir/catalog/index.cc.o.d"
+  "CMakeFiles/erq_catalog.dir/catalog/table.cc.o"
+  "CMakeFiles/erq_catalog.dir/catalog/table.cc.o.d"
+  "liberq_catalog.a"
+  "liberq_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_common.dir/common/status.cc.o"
+  "CMakeFiles/erq_common.dir/common/status.cc.o.d"
+  "CMakeFiles/erq_common.dir/common/string_util.cc.o"
+  "CMakeFiles/erq_common.dir/common/string_util.cc.o.d"
+  "liberq_common.a"
+  "liberq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atomic_query_part.cc" "src/CMakeFiles/erq_core.dir/core/atomic_query_part.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/atomic_query_part.cc.o.d"
+  "/root/repo/src/core/caqp_cache.cc" "src/CMakeFiles/erq_core.dir/core/caqp_cache.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/caqp_cache.cc.o.d"
+  "/root/repo/src/core/cost_gate.cc" "src/CMakeFiles/erq_core.dir/core/cost_gate.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/cost_gate.cc.o.d"
+  "/root/repo/src/core/decompose.cc" "src/CMakeFiles/erq_core.dir/core/decompose.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/decompose.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/CMakeFiles/erq_core.dir/core/detector.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/detector.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/erq_core.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/CMakeFiles/erq_core.dir/core/manager.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/manager.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/erq_core.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/CMakeFiles/erq_core.dir/core/signature.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/signature.cc.o.d"
+  "/root/repo/src/core/simplify.cc" "src/CMakeFiles/erq_core.dir/core/simplify.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/simplify.cc.o.d"
+  "/root/repo/src/core/update_filter.cc" "src/CMakeFiles/erq_core.dir/core/update_filter.cc.o" "gcc" "src/CMakeFiles/erq_core.dir/core/update_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/erq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_core.dir/core/atomic_query_part.cc.o"
+  "CMakeFiles/erq_core.dir/core/atomic_query_part.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/caqp_cache.cc.o"
+  "CMakeFiles/erq_core.dir/core/caqp_cache.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/cost_gate.cc.o"
+  "CMakeFiles/erq_core.dir/core/cost_gate.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/decompose.cc.o"
+  "CMakeFiles/erq_core.dir/core/decompose.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/detector.cc.o"
+  "CMakeFiles/erq_core.dir/core/detector.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/explain.cc.o"
+  "CMakeFiles/erq_core.dir/core/explain.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/manager.cc.o"
+  "CMakeFiles/erq_core.dir/core/manager.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/serialize.cc.o"
+  "CMakeFiles/erq_core.dir/core/serialize.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/signature.cc.o"
+  "CMakeFiles/erq_core.dir/core/signature.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/simplify.cc.o"
+  "CMakeFiles/erq_core.dir/core/simplify.cc.o.d"
+  "CMakeFiles/erq_core.dir/core/update_filter.cc.o"
+  "CMakeFiles/erq_core.dir/core/update_filter.cc.o.d"
+  "liberq_core.a"
+  "liberq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/erq_exec.dir/exec/executor.cc.o.d"
+  "liberq_exec.a"
+  "liberq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

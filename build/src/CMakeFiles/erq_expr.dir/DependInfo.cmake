@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/dnf.cc" "src/CMakeFiles/erq_expr.dir/expr/dnf.cc.o" "gcc" "src/CMakeFiles/erq_expr.dir/expr/dnf.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/erq_expr.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/erq_expr.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/expr_builder.cc" "src/CMakeFiles/erq_expr.dir/expr/expr_builder.cc.o" "gcc" "src/CMakeFiles/erq_expr.dir/expr/expr_builder.cc.o.d"
+  "/root/repo/src/expr/normalize.cc" "src/CMakeFiles/erq_expr.dir/expr/normalize.cc.o" "gcc" "src/CMakeFiles/erq_expr.dir/expr/normalize.cc.o.d"
+  "/root/repo/src/expr/primitive.cc" "src/CMakeFiles/erq_expr.dir/expr/primitive.cc.o" "gcc" "src/CMakeFiles/erq_expr.dir/expr/primitive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/erq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

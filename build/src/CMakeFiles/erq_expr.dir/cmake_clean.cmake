@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_expr.dir/expr/dnf.cc.o"
+  "CMakeFiles/erq_expr.dir/expr/dnf.cc.o.d"
+  "CMakeFiles/erq_expr.dir/expr/expr.cc.o"
+  "CMakeFiles/erq_expr.dir/expr/expr.cc.o.d"
+  "CMakeFiles/erq_expr.dir/expr/expr_builder.cc.o"
+  "CMakeFiles/erq_expr.dir/expr/expr_builder.cc.o.d"
+  "CMakeFiles/erq_expr.dir/expr/normalize.cc.o"
+  "CMakeFiles/erq_expr.dir/expr/normalize.cc.o.d"
+  "CMakeFiles/erq_expr.dir/expr/primitive.cc.o"
+  "CMakeFiles/erq_expr.dir/expr/primitive.cc.o.d"
+  "liberq_expr.a"
+  "liberq_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_mv.dir/mv/mv_cache.cc.o"
+  "CMakeFiles/erq_mv.dir/mv/mv_cache.cc.o.d"
+  "liberq_mv.a"
+  "liberq_mv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_mv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/erq_plan.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/erq_plan.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/cost_model.cc" "src/CMakeFiles/erq_plan.dir/plan/cost_model.cc.o" "gcc" "src/CMakeFiles/erq_plan.dir/plan/cost_model.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/erq_plan.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/erq_plan.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/CMakeFiles/erq_plan.dir/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/erq_plan.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/plan/physical_plan.cc" "src/CMakeFiles/erq_plan.dir/plan/physical_plan.cc.o" "gcc" "src/CMakeFiles/erq_plan.dir/plan/physical_plan.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/erq_plan.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/erq_plan.dir/plan/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/erq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

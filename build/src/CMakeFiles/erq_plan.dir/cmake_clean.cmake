@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_plan.dir/plan/binder.cc.o"
+  "CMakeFiles/erq_plan.dir/plan/binder.cc.o.d"
+  "CMakeFiles/erq_plan.dir/plan/cost_model.cc.o"
+  "CMakeFiles/erq_plan.dir/plan/cost_model.cc.o.d"
+  "CMakeFiles/erq_plan.dir/plan/logical_plan.cc.o"
+  "CMakeFiles/erq_plan.dir/plan/logical_plan.cc.o.d"
+  "CMakeFiles/erq_plan.dir/plan/optimizer.cc.o"
+  "CMakeFiles/erq_plan.dir/plan/optimizer.cc.o.d"
+  "CMakeFiles/erq_plan.dir/plan/physical_plan.cc.o"
+  "CMakeFiles/erq_plan.dir/plan/physical_plan.cc.o.d"
+  "CMakeFiles/erq_plan.dir/plan/planner.cc.o"
+  "CMakeFiles/erq_plan.dir/plan/planner.cc.o.d"
+  "liberq_plan.a"
+  "liberq_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

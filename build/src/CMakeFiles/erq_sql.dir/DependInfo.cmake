@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/erq_sql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/erq_sql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/erq_sql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/erq_sql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/erq_sql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/erq_sql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/erq_sql.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/erq_sql.dir/sql/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/erq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/erq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

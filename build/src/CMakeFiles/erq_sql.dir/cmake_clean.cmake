@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/erq_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/erq_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/erq_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/erq_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/erq_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/erq_sql.dir/sql/token.cc.o"
+  "CMakeFiles/erq_sql.dir/sql/token.cc.o.d"
+  "liberq_sql.a"
+  "liberq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

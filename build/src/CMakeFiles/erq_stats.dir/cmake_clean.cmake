@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_stats.dir/stats/analyzer.cc.o"
+  "CMakeFiles/erq_stats.dir/stats/analyzer.cc.o.d"
+  "CMakeFiles/erq_stats.dir/stats/column_stats.cc.o"
+  "CMakeFiles/erq_stats.dir/stats/column_stats.cc.o.d"
+  "CMakeFiles/erq_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/erq_stats.dir/stats/histogram.cc.o.d"
+  "liberq_stats.a"
+  "liberq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_types.dir/types/date.cc.o"
+  "CMakeFiles/erq_types.dir/types/date.cc.o.d"
+  "CMakeFiles/erq_types.dir/types/schema.cc.o"
+  "CMakeFiles/erq_types.dir/types/schema.cc.o.d"
+  "CMakeFiles/erq_types.dir/types/value.cc.o"
+  "CMakeFiles/erq_types.dir/types/value.cc.o.d"
+  "liberq_types.a"
+  "liberq_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

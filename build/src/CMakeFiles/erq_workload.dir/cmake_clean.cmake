@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erq_workload.dir/workload/query_gen.cc.o"
+  "CMakeFiles/erq_workload.dir/workload/query_gen.cc.o.d"
+  "CMakeFiles/erq_workload.dir/workload/tpcr.cc.o"
+  "CMakeFiles/erq_workload.dir/workload/tpcr.cc.o.d"
+  "CMakeFiles/erq_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/erq_workload.dir/workload/trace.cc.o.d"
+  "liberq_workload.a"
+  "liberq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqp_cache_test.dir/caqp_cache_test.cc.o"
+  "CMakeFiles/caqp_cache_test.dir/caqp_cache_test.cc.o.d"
+  "caqp_cache_test"
+  "caqp_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqp_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combined_features_test.dir/combined_features_test.cc.o"
+  "CMakeFiles/combined_features_test.dir/combined_features_test.cc.o.d"
+  "combined_features_test"
+  "combined_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

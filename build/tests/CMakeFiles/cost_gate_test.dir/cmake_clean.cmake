@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_gate_test.dir/cost_gate_test.cc.o"
+  "CMakeFiles/cost_gate_test.dir/cost_gate_test.cc.o.d"
+  "cost_gate_test"
+  "cost_gate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_test.dir/decompose_test.cc.o"
+  "CMakeFiles/decompose_test.dir/decompose_test.cc.o.d"
+  "decompose_test"
+  "decompose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

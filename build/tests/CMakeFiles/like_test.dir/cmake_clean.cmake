@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/like_test.dir/like_test.cc.o"
+  "CMakeFiles/like_test.dir/like_test.cc.o.d"
+  "like_test"
+  "like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_test.dir/manager_test.cc.o"
+  "CMakeFiles/manager_test.dir/manager_test.cc.o.d"
+  "manager_test"
+  "manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitive_test.dir/primitive_test.cc.o"
+  "CMakeFiles/primitive_test.dir/primitive_test.cc.o.d"
+  "primitive_test"
+  "primitive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

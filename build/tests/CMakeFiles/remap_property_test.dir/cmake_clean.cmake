@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_property_test.dir/remap_property_test.cc.o"
+  "CMakeFiles/remap_property_test.dir/remap_property_test.cc.o.d"
+  "remap_property_test"
+  "remap_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

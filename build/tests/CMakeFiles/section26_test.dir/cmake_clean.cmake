@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section26_test.dir/section26_test.cc.o"
+  "CMakeFiles/section26_test.dir/section26_test.cc.o.d"
+  "section26_test"
+  "section26_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section26_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subquery_test.dir/subquery_test.cc.o"
+  "CMakeFiles/subquery_test.dir/subquery_test.cc.o.d"
+  "subquery_test"
+  "subquery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subquery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_filter_test.dir/update_filter_test.cc.o"
+  "CMakeFiles/update_filter_test.dir/update_filter_test.cc.o.d"
+  "update_filter_test"
+  "update_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
