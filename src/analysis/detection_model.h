@@ -1,5 +1,4 @@
-#ifndef ERQ_ANALYSIS_DETECTION_MODEL_H_
-#define ERQ_ANALYSIS_DETECTION_MODEL_H_
+#pragma once
 
 namespace erq {
 
@@ -36,4 +35,3 @@ double Case3DetectionProbability(double q, int m, double N);
 
 }  // namespace erq
 
-#endif  // ERQ_ANALYSIS_DETECTION_MODEL_H_

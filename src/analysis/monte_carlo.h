@@ -1,5 +1,4 @@
-#ifndef ERQ_ANALYSIS_MONTE_CARLO_H_
-#define ERQ_ANALYSIS_MONTE_CARLO_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -29,4 +28,3 @@ double SimulateCase3(double q, int m, size_t N, size_t trials, uint64_t seed);
 
 }  // namespace erq
 
-#endif  // ERQ_ANALYSIS_MONTE_CARLO_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_CATALOG_CATALOG_H_
-#define ERQ_CATALOG_CATALOG_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -90,4 +89,3 @@ class Catalog {
 
 }  // namespace erq
 
-#endif  // ERQ_CATALOG_CATALOG_H_

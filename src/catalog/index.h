@@ -1,5 +1,4 @@
-#ifndef ERQ_CATALOG_INDEX_H_
-#define ERQ_CATALOG_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -59,4 +58,3 @@ class SortedIndex {
 
 }  // namespace erq
 
-#endif  // ERQ_CATALOG_INDEX_H_

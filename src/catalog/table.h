@@ -1,5 +1,4 @@
-#ifndef ERQ_CATALOG_TABLE_H_
-#define ERQ_CATALOG_TABLE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -68,4 +67,3 @@ class Table {
 
 }  // namespace erq
 
-#endif  // ERQ_CATALOG_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_COMMON_HASH_H_
-#define ERQ_COMMON_HASH_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -25,4 +24,3 @@ inline uint64_t Mix64(uint64_t x) {
 
 }  // namespace erq
 
-#endif  // ERQ_COMMON_HASH_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_COMMON_STATUS_H_
-#define ERQ_COMMON_STATUS_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -111,4 +110,3 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 }  // namespace erq
 
-#endif  // ERQ_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_COMMON_STATUSOR_H_
-#define ERQ_COMMON_STATUSOR_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -62,4 +61,3 @@ class StatusOr {
 
 }  // namespace erq
 
-#endif  // ERQ_COMMON_STATUSOR_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_COMMON_STRING_UTIL_H_
-#define ERQ_COMMON_STRING_UTIL_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -30,4 +29,3 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
 }  // namespace erq
 
-#endif  // ERQ_COMMON_STRING_UTIL_H_

@@ -1,0 +1,103 @@
+#pragma once
+
+// Clang thread-safety (capability) analysis annotations, after the scheme
+// used by abseil and the Clang documentation:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// The macros expand to Clang attributes when the compiler supports them
+// (clang with -Wthread-safety) and to nothing elsewhere (gcc, msvc), so
+// annotated code stays portable. The analysis is purely static: a member
+// declared ERQ_GUARDED_BY(mu_) may only be touched while mu_ is held, and
+// a method declared ERQ_REQUIRES(mu_) may only be called with mu_ held —
+// violations are compile errors under -Werror=thread-safety.
+//
+// The project rule is that every mutex-protected member carries
+// ERQ_GUARDED_BY and every method with a locking precondition carries
+// ERQ_REQUIRES; `tools/check.sh clang` builds with the analysis enabled.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ERQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ERQ_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// On a struct/class: the type is a capability ("mutex") that code can
+// hold, acquire, and release.
+#define ERQ_CAPABILITY(x) ERQ_THREAD_ANNOTATION_(capability(x))
+
+// On an RAII class whose constructor acquires and destructor releases.
+#define ERQ_SCOPED_CAPABILITY ERQ_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: may only be read or written while `x` is held.
+#define ERQ_GUARDED_BY(x) ERQ_THREAD_ANNOTATION_(guarded_by(x))
+
+// On a pointer member: the pointed-to data is protected by `x`.
+#define ERQ_PT_GUARDED_BY(x) ERQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On a function: caller must hold `...` (exclusively / shared).
+#define ERQ_REQUIRES(...) \
+  ERQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ERQ_REQUIRES_SHARED(...) \
+  ERQ_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the capability.
+#define ERQ_ACQUIRE(...) \
+  ERQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ERQ_ACQUIRE_SHARED(...) \
+  ERQ_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define ERQ_RELEASE(...) \
+  ERQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ERQ_TRY_ACQUIRE(...) \
+  ERQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: caller must NOT hold `...` (deadlock prevention).
+#define ERQ_EXCLUDES(...) ERQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations on mutex members.
+#define ERQ_ACQUIRED_BEFORE(...) \
+  ERQ_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ERQ_ACQUIRED_AFTER(...) \
+  ERQ_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On a function returning a reference to a guarded member.
+#define ERQ_RETURN_CAPABILITY(x) ERQ_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow.
+#define ERQ_NO_THREAD_SAFETY_ANALYSIS \
+  ERQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace erq {
+
+/// std::mutex wrapper carrying the capability annotations. The analysis
+/// only understands annotated types, so shared state must use erq::Mutex
+/// (std::mutex members are invisible to it).
+class ERQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ERQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() ERQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() ERQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for erq::Mutex — the annotated analogue of std::lock_guard.
+class ERQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ERQ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ERQ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace erq

@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_ATOMIC_QUERY_PART_H_
-#define ERQ_CORE_ATOMIC_QUERY_PART_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -86,4 +85,3 @@ class AtomicQueryPart {
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_ATOMIC_QUERY_PART_H_

@@ -7,7 +7,7 @@
 namespace erq {
 
 bool CaqpCache::CoveredBy(const AtomicQueryPart& aqp) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.lookups;
   RelationSignature query_sig = RelationSignature::Of(aqp.relations());
   for (Entry& entry : entries_) {
@@ -34,7 +34,7 @@ bool CaqpCache::CoveredBy(const AtomicQueryPart& aqp) {
 }
 
 void CaqpCache::Insert(const AtomicQueryPart& aqp) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.insert_attempts;
   if (n_max_ == 0) return;
   RelationSignature new_sig = RelationSignature::Of(aqp.relations());
@@ -166,7 +166,7 @@ size_t CaqpCache::GetOrCreateEntry(const RelationSet& relations) {
 }
 
 void CaqpCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   slots_.clear();
   free_slots_.clear();
   entries_.clear();
@@ -176,7 +176,7 @@ void CaqpCache::Clear() {
 }
 
 void CaqpCache::InvalidateRelation(const std::string& base_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string base = ToLower(base_name);
   std::string prefix = base + "#";
   for (Entry& entry : entries_) {
@@ -200,7 +200,7 @@ void CaqpCache::InvalidateRelation(const std::string& base_name) {
 
 size_t CaqpCache::DropIf(
     const std::function<bool(const AtomicQueryPart&)>& pred) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t dropped = 0;
   for (Entry& entry : entries_) {
     std::vector<size_t> kept;
@@ -222,7 +222,7 @@ size_t CaqpCache::DropIf(
 }
 
 std::vector<AtomicQueryPart> CaqpCache::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<AtomicQueryPart> out;
   out.reserve(live_);
   for (const Item& item : slots_) {

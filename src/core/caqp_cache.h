@@ -1,13 +1,12 @@
-#ifndef ERQ_CORE_CAQP_CACHE_H_
-#define ERQ_CORE_CAQP_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/atomic_query_part.h"
 #include "core/config.h"
 #include "core/signature.h"
@@ -61,7 +60,7 @@ class CaqpCache {
 
   /// Number of stored atomic query parts.
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return live_;
   }
   size_t n_max() const { return n_max_; }
@@ -77,11 +76,11 @@ class CaqpCache {
   size_t DropIf(const std::function<bool(const AtomicQueryPart&)>& pred);
 
   CacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_ = CacheStats{};
   }
 
@@ -104,27 +103,26 @@ class CaqpCache {
     std::vector<size_t> items;  // slot indices
   };
 
-  void EvictOne();
-  void RemoveItem(size_t slot);
-  size_t GetOrCreateEntry(const RelationSet& relations);
+  void EvictOne() ERQ_REQUIRES(mu_);
+  void RemoveItem(size_t slot) ERQ_REQUIRES(mu_);
+  size_t GetOrCreateEntry(const RelationSet& relations) ERQ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
-  size_t n_max_;
-  EvictionPolicy policy_;
-  bool enable_signatures_;
+  // Configuration, immutable after construction: safe to read unlocked.
+  const size_t n_max_;
+  const EvictionPolicy policy_;
+  const bool enable_signatures_;
 
-  std::vector<Item> slots_;
-  std::vector<size_t> free_slots_;
-  std::vector<Entry> entries_;
-  std::unordered_map<std::string, size_t> entry_index_;
+  std::vector<Item> slots_ ERQ_GUARDED_BY(mu_);
+  std::vector<size_t> free_slots_ ERQ_GUARDED_BY(mu_);
+  std::vector<Entry> entries_ ERQ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> entry_index_ ERQ_GUARDED_BY(mu_);
 
-  size_t live_ = 0;
-  size_t clock_hand_ = 0;
-  uint64_t seq_ = 0;
-  CacheStats stats_;
+  size_t live_ ERQ_GUARDED_BY(mu_) = 0;
+  size_t clock_hand_ ERQ_GUARDED_BY(mu_) = 0;
+  uint64_t seq_ ERQ_GUARDED_BY(mu_) = 0;
+  CacheStats stats_ ERQ_GUARDED_BY(mu_);
 };
 
 }  // namespace erq
-
-#endif  // ERQ_CORE_CAQP_CACHE_H_

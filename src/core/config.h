@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_CONFIG_H_
-#define ERQ_CORE_CONFIG_H_
+#pragma once
 
 #include <cstddef>
 
@@ -56,4 +55,3 @@ struct EmptyResultConfig {
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_CONFIG_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_COST_GATE_H_
-#define ERQ_CORE_COST_GATE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -61,4 +60,3 @@ class AdaptiveCostGate {
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_COST_GATE_H_

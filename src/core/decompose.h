@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_DECOMPOSE_H_
-#define ERQ_CORE_DECOMPOSE_H_
+#pragma once
 
 #include <vector>
 
@@ -33,4 +32,3 @@ StatusOr<std::vector<AtomicQueryPart>> DecomposeLogicalPart(
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_DECOMPOSE_H_

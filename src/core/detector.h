@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_DETECTOR_H_
-#define ERQ_CORE_DETECTOR_H_
+#pragma once
 
 #include <vector>
 
@@ -27,6 +26,11 @@ struct CheckResult {
 /// count(∅)=0 — are never empty), UNION needs both branches empty, EXCEPT
 /// needs its left branch empty, and LEFT OUTER JOIN needs its left input
 /// empty.
+///
+/// Thread safety: the detector itself holds no lock — `config_` is
+/// immutable after construction and all mutable state lives in `cache_`,
+/// which is internally synchronized (see CaqpCache). Concurrent sessions
+/// may therefore call every method on a shared detector.
 class EmptyResultDetector {
  public:
   explicit EmptyResultDetector(const EmptyResultConfig& config)
@@ -71,10 +75,9 @@ class EmptyResultDetector {
   void OnRelationDeleted(const std::string& table_name);
 
  private:
-  EmptyResultConfig config_;
-  CaqpCache cache_;
+  const EmptyResultConfig config_;  // immutable: safe to read unlocked
+  CaqpCache cache_;                 // internally synchronized
 };
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_DETECTOR_H_

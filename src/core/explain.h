@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_EXPLAIN_H_
-#define ERQ_CORE_EXPLAIN_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -33,4 +32,3 @@ StatusOr<EmptyResultExplanation> ExplainEmptyResult(const PhysOpPtr& root);
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_EXPLAIN_H_

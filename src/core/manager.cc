@@ -61,20 +61,27 @@ StatusOr<PhysOpPtr> EmptyResultManager::Prepare(const std::string& sql) {
 
 StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
     const Statement& stmt) {
-  ++stats_.queries;
+  {
+    MutexLock lock(&mu_);
+    ++stats_.queries;
+  }
   QueryOutcome outcome;
 
   ERQ_ASSIGN_OR_RETURN(PlannedQuery planned, planner_.PlanStatement(stmt));
   ERQ_ASSIGN_OR_RETURN(PhysOpPtr physical, optimizer_.Optimize(planned.root));
   outcome.estimated_cost = physical->estimated_cost;
   outcome.high_cost = outcome.estimated_cost > EffectiveCostThreshold();
-  if (!outcome.high_cost) ++stats_.low_cost;
+  if (!outcome.high_cost) {
+    MutexLock lock(&mu_);
+    ++stats_.low_cost;
+  }
 
   // §2.2: only high-cost queries are worth checking against C_aqp.
   if (config_.detection_enabled && outcome.high_cost) {
     auto start = std::chrono::steady_clock::now();
     CheckResult check = detector_.CheckEmpty(planned.root);
     outcome.check_seconds = SecondsSince(start);
+    MutexLock lock(&mu_);
     ++stats_.checks;
     if (check.provably_empty) {
       outcome.detected_empty = true;
@@ -97,7 +104,10 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
         detector_.PrunePlan(planned.root, &outcome.branches_pruned);
     outcome.check_seconds += SecondsSince(start);
     if (outcome.branches_pruned > 0) {
-      stats_.branches_pruned += outcome.branches_pruned;
+      {
+        MutexLock lock(&mu_);
+        stats_.branches_pruned += outcome.branches_pruned;
+      }
       ERQ_ASSIGN_OR_RETURN(physical, optimizer_.Optimize(pruned));
     }
   }
@@ -108,24 +118,28 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
     outcome.execute_seconds = SecondsSince(start);
   }
   outcome.executed = true;
-  ++stats_.executed;
   outcome.result_rows = outcome.result.rows.size();
   outcome.result_empty = outcome.result.rows.empty();
   // Operation O1: the plan, with per-operator output cardinalities, is
   // surfaced to the user to explain the (possibly empty) result.
   outcome.plan_text = physical->ToString();
 
-  cost_gate_.ObserveExecuted(outcome.estimated_cost, outcome.check_seconds,
-                             outcome.execute_seconds, outcome.result_empty);
+  {
+    MutexLock lock(&mu_);
+    ++stats_.executed;
+    cost_gate_.ObserveExecuted(outcome.estimated_cost, outcome.check_seconds,
+                               outcome.execute_seconds, outcome.result_empty);
+    if (outcome.result_empty) ++stats_.empty_results;
+  }
 
-  if (outcome.result_empty) {
-    ++stats_.empty_results;
-    if (config_.detection_enabled &&
-        (outcome.high_cost || config_.record_low_cost)) {
-      auto start = std::chrono::steady_clock::now();
-      outcome.aqps_recorded = detector_.RecordEmpty(physical);
-      outcome.record_seconds = SecondsSince(start);
-      if (outcome.aqps_recorded > 0) ++stats_.recorded;
+  if (outcome.result_empty && config_.detection_enabled &&
+      (outcome.high_cost || config_.record_low_cost)) {
+    auto start = std::chrono::steady_clock::now();
+    outcome.aqps_recorded = detector_.RecordEmpty(physical);
+    outcome.record_seconds = SecondsSince(start);
+    if (outcome.aqps_recorded > 0) {
+      MutexLock lock(&mu_);
+      ++stats_.recorded;
     }
   }
   return outcome;
@@ -133,6 +147,7 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
 
 double EmptyResultManager::EffectiveCostThreshold() const {
   if (!config_.auto_tune_c_cost) return config_.c_cost;
+  MutexLock lock(&mu_);
   return cost_gate_.Suggest(config_.c_cost);
 }
 

@@ -1,10 +1,10 @@
-#ifndef ERQ_CORE_MANAGER_H_
-#define ERQ_CORE_MANAGER_H_
+#pragma once
 
 #include <memory>
 #include <string>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "core/cost_gate.h"
 #include "core/detector.h"
 #include "exec/executor.h"
@@ -55,6 +55,14 @@ struct ManagerStats {
 ///   execute if not provably empty -> on empty result, harvest into C_aqp.
 /// Registers itself as a catalog update listener so base-table updates
 /// invalidate stored parts (read-mostly batch-update model).
+///
+/// Thread safety: the manager's own mutable state — the aggregate
+/// counters and the adaptive cost gate — is guarded by `mu_`, and the
+/// C_aqp collection inside the detector is internally synchronized, so
+/// concurrent sessions may issue Query()/QueryStatement() calls on one
+/// manager. The planner, optimizer, and catalog are thread-compatible
+/// (read-only here); concurrent catalog *mutations* must be synchronized
+/// by the caller.
 class EmptyResultManager {
  public:
   EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
@@ -71,16 +79,27 @@ class EmptyResultManager {
   StatusOr<PhysOpPtr> Prepare(const std::string& sql);
 
   EmptyResultDetector& detector() { return detector_; }
-  const ManagerStats& stats() const { return stats_; }
 
-  /// Past-statistics model behind the C_cost gate; consult
-  /// cost_gate().Suggest() or enable config.auto_tune_c_cost.
-  const AdaptiveCostGate& cost_gate() const { return cost_gate_; }
+  /// Consistent snapshot of the aggregate counters.
+  ManagerStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+
+  /// Snapshot of the past-statistics model behind the C_cost gate;
+  /// consult cost_gate().Suggest() or enable config.auto_tune_c_cost.
+  AdaptiveCostGate cost_gate() const {
+    MutexLock lock(&mu_);
+    return cost_gate_;
+  }
 
   /// The threshold currently in force (config.c_cost, or the adaptive
   /// suggestion when auto-tuning is enabled and warmed up).
-  double EffectiveCostThreshold() const;
-  void ResetStats() { stats_ = ManagerStats{}; }
+  double EffectiveCostThreshold() const ERQ_EXCLUDES(mu_);
+  void ResetStats() {
+    MutexLock lock(&mu_);
+    stats_ = ManagerStats{};
+  }
 
   /// Invalidation hook (also wired to catalog update notifications).
   void OnTableUpdated(const std::string& table_name);
@@ -88,14 +107,14 @@ class EmptyResultManager {
  private:
   Catalog* catalog_;
   StatsCatalog* stats_catalog_;
-  EmptyResultConfig config_;
+  const EmptyResultConfig config_;
   Planner planner_;
   Optimizer optimizer_;
   EmptyResultDetector detector_;
-  AdaptiveCostGate cost_gate_;
-  ManagerStats stats_;
+
+  mutable Mutex mu_;
+  AdaptiveCostGate cost_gate_ ERQ_GUARDED_BY(mu_);
+  ManagerStats stats_ ERQ_GUARDED_BY(mu_);
 };
 
 }  // namespace erq
-
-#endif  // ERQ_CORE_MANAGER_H_

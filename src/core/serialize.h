@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_SERIALIZE_H_
-#define ERQ_CORE_SERIALIZE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -40,4 +39,3 @@ StatusOr<AtomicQueryPart> ParsePart(const std::string& line);
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_SERIALIZE_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_SIGNATURE_H_
-#define ERQ_CORE_SIGNATURE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -39,4 +38,3 @@ class RelationSignature {
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_SIGNATURE_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_SIMPLIFY_H_
-#define ERQ_CORE_SIMPLIFY_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -41,4 +40,3 @@ StatusOr<SimplifiedQueryPart> SimplifyLogicalPart(const LogicalOpPtr& part);
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_SIMPLIFY_H_

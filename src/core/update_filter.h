@@ -1,5 +1,4 @@
-#ifndef ERQ_CORE_UPDATE_FILTER_H_
-#define ERQ_CORE_UPDATE_FILTER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -27,6 +26,9 @@ namespace erq {
 ///
 /// All decisions are conservative: "relevant" may be a false alarm (the
 /// part is dropped unnecessarily), "irrelevant" is always sound.
+///
+/// Both functions are pure (no shared state) and safe to call from any
+/// thread.
 
 /// True if inserting `row` (with `schema`) into the base relation whose
 /// canonical occurrences match `base_name` ("name", "name#2", ...) could
@@ -41,4 +43,3 @@ bool InsertsAreRelevant(const AtomicQueryPart& part,
 
 }  // namespace erq
 
-#endif  // ERQ_CORE_UPDATE_FILTER_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_EXEC_EXECUTOR_H_
-#define ERQ_EXEC_EXECUTOR_H_
+#pragma once
 
 #include <vector>
 
@@ -30,4 +29,3 @@ class Executor {
 
 }  // namespace erq
 
-#endif  // ERQ_EXEC_EXECUTOR_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_EXPR_DNF_H_
-#define ERQ_EXPR_DNF_H_
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ std::string DnfToString(const Dnf& dnf);
 
 }  // namespace erq
 
-#endif  // ERQ_EXPR_DNF_H_

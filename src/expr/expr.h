@@ -1,5 +1,4 @@
-#ifndef ERQ_EXPR_EXPR_H_
-#define ERQ_EXPR_EXPR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -136,4 +135,3 @@ bool LikeMatches(const std::string& text, const std::string& pattern);
 
 }  // namespace erq
 
-#endif  // ERQ_EXPR_EXPR_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_EXPR_EXPR_BUILDER_H_
-#define ERQ_EXPR_EXPR_BUILDER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -39,4 +38,3 @@ ExprPtr Div(ExprPtr a, ExprPtr b);
 
 }  // namespace erq::eb
 
-#endif  // ERQ_EXPR_EXPR_BUILDER_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_EXPR_NORMALIZE_H_
-#define ERQ_EXPR_NORMALIZE_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -31,4 +30,3 @@ StatusOr<ExprPtr> RewriteQualifiers(
 
 }  // namespace erq
 
-#endif  // ERQ_EXPR_NORMALIZE_H_

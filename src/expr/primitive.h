@@ -1,5 +1,4 @@
-#ifndef ERQ_EXPR_PRIMITIVE_H_
-#define ERQ_EXPR_PRIMITIVE_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -180,4 +179,3 @@ class Conjunction {
 
 }  // namespace erq
 
-#endif  // ERQ_EXPR_PRIMITIVE_H_

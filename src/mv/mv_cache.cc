@@ -57,6 +57,7 @@ std::string MvEmptyCache::Fingerprint(const LogicalOpPtr& root) const {
 void MvEmptyCache::RecordEmpty(const LogicalOpPtr& root) {
   std::string key = Fingerprint(root);
   if (key.empty() || max_views_ == 0) return;
+  MutexLock lock(&mu_);
   auto it = keys_.find(key);
   if (it != keys_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -73,8 +74,9 @@ void MvEmptyCache::RecordEmpty(const LogicalOpPtr& root) {
 }
 
 bool MvEmptyCache::CheckEmpty(const LogicalOpPtr& root) {
-  ++stats_.lookups;
   std::string key = Fingerprint(root);
+  MutexLock lock(&mu_);
+  ++stats_.lookups;
   auto it = keys_.find(key);
   if (it == keys_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -83,6 +85,7 @@ bool MvEmptyCache::CheckEmpty(const LogicalOpPtr& root) {
 }
 
 void MvEmptyCache::Clear() {
+  MutexLock lock(&mu_);
   lru_.clear();
   keys_.clear();
 }

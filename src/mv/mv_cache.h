@@ -1,5 +1,4 @@
-#ifndef ERQ_MV_MV_CACHE_H_
-#define ERQ_MV_MV_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -7,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "plan/logical_plan.h"
 
 namespace erq {
@@ -24,6 +24,11 @@ namespace erq {
 ///   * relation-subset reasoning (π(R)=∅ ⇒ R⋈S=∅) is unavailable.
 /// Views are managed LRU under the same capacity budget as C_aqp, making
 /// hit-rate comparisons apples-to-apples.
+///
+/// Thread safety: like CaqpCache, all public methods are internally
+/// synchronized with a single mutex — the baseline is consulted by the
+/// same concurrent sessions as C_aqp, and even lookups mutate LRU order
+/// and statistics.
 class MvEmptyCache {
  public:
   explicit MvEmptyCache(size_t max_views) : max_views_(max_views) {}
@@ -41,22 +46,29 @@ class MvEmptyCache {
   /// True if an exactly matching empty view exists.
   bool CheckEmpty(const LogicalOpPtr& root);
 
-  size_t size() const { return keys_.size(); }
+  size_t size() const {
+    MutexLock lock(&mu_);
+    return keys_.size();
+  }
   void Clear();
-  const MvStats& stats() const { return stats_; }
+  MvStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
   /// Canonical fingerprint of the whole query (relations + normalized
   /// predicate + projection list + shape). Empty string when the plan
-  /// cannot be fingerprinted.
+  /// cannot be fingerprinted. Pure: touches no shared state.
   std::string Fingerprint(const LogicalOpPtr& root) const;
 
-  size_t max_views_;
-  std::list<std::string> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<std::string>::iterator> keys_;
-  MvStats stats_;
+  mutable Mutex mu_;
+
+  const size_t max_views_;
+  std::list<std::string> lru_ ERQ_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> keys_
+      ERQ_GUARDED_BY(mu_);
+  MvStats stats_ ERQ_GUARDED_BY(mu_);
 };
 
 }  // namespace erq
-
-#endif  // ERQ_MV_MV_CACHE_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_PLAN_BINDER_H_
-#define ERQ_PLAN_BINDER_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -81,4 +80,3 @@ class FromScope {
 
 }  // namespace erq
 
-#endif  // ERQ_PLAN_BINDER_H_

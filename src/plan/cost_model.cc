@@ -7,7 +7,7 @@
 
 namespace erq {
 
-const ColumnStats* CostModel::LookupStats(const Expr& column_ref,
+std::shared_ptr<const ColumnStats> CostModel::LookupStats(const Expr& column_ref,
                                           const AliasMap& aliases) const {
   if (stats_ == nullptr || column_ref.kind() != Expr::Kind::kColumnRef) {
     return nullptr;
@@ -57,7 +57,7 @@ double CostModel::EstimateSelectivity(const Expr& pred,
         return kDefaultSelectivity;
       }
       CompareOp op = l_col ? pred.compare_op() : SwapCompareOp(pred.compare_op());
-      const ColumnStats* cs = LookupStats(*col, aliases);
+      std::shared_ptr<const ColumnStats> cs = LookupStats(*col, aliases);
       if (cs == nullptr) {
         return op == CompareOp::kEq ? kDefaultEqSelectivity
                                     : kDefaultSelectivity;
@@ -86,7 +86,7 @@ double CostModel::EstimateSelectivity(const Expr& pred,
       if (v.kind() == Expr::Kind::kColumnRef &&
           lo.kind() == Expr::Kind::kLiteral &&
           hi.kind() == Expr::Kind::kLiteral) {
-        const ColumnStats* cs = LookupStats(v, aliases);
+        std::shared_ptr<const ColumnStats> cs = LookupStats(v, aliases);
         if (cs != nullptr) {
           double s = cs->RangeSelectivity(lo.value(), true, hi.value(), true);
           return pred.negated() ? std::clamp(1.0 - s, 0.0, 1.0) : s;
@@ -96,7 +96,7 @@ double CostModel::EstimateSelectivity(const Expr& pred,
     }
     case Expr::Kind::kInList: {
       const Expr& v = *pred.child(0);
-      const ColumnStats* cs = LookupStats(v, aliases);
+      std::shared_ptr<const ColumnStats> cs = LookupStats(v, aliases);
       double s = 0.0;
       for (size_t i = 1; i < pred.children().size(); ++i) {
         const Expr& item = *pred.child(i);
@@ -112,7 +112,7 @@ double CostModel::EstimateSelectivity(const Expr& pred,
     }
     case Expr::Kind::kIsNull: {
       const Expr& v = *pred.child(0);
-      const ColumnStats* cs = LookupStats(v, aliases);
+      std::shared_ptr<const ColumnStats> cs = LookupStats(v, aliases);
       double null_frac = cs != nullptr ? cs->null_fraction() : 0.01;
       return pred.negated() ? 1.0 - null_frac : null_frac;
     }
@@ -136,11 +136,11 @@ double CostModel::JoinSelectivity(const std::string& left_alias,
     auto l = aliases.find(ToLower(left_alias));
     auto r = aliases.find(ToLower(right_alias));
     if (l != aliases.end()) {
-      const ColumnStats* cs = stats_->GetColumnStats(l->second, left_column);
+      std::shared_ptr<const ColumnStats> cs = stats_->GetColumnStats(l->second, left_column);
       if (cs != nullptr) left_ndv = cs->ndv;
     }
     if (r != aliases.end()) {
-      const ColumnStats* cs = stats_->GetColumnStats(r->second, right_column);
+      std::shared_ptr<const ColumnStats> cs = stats_->GetColumnStats(r->second, right_column);
       if (cs != nullptr) right_ndv = cs->ndv;
     }
   }

@@ -1,6 +1,6 @@
-#ifndef ERQ_PLAN_COST_MODEL_H_
-#define ERQ_PLAN_COST_MODEL_H_
+#pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -64,7 +64,7 @@ class CostModel {
   static constexpr double kDefaultEqSelectivity = 0.05;
 
  private:
-  const ColumnStats* LookupStats(const Expr& column_ref,
+  std::shared_ptr<const ColumnStats> LookupStats(const Expr& column_ref,
                                  const AliasMap& aliases) const;
 
   const StatsCatalog* stats_;
@@ -72,4 +72,3 @@ class CostModel {
 
 }  // namespace erq
 
-#endif  // ERQ_PLAN_COST_MODEL_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_PLAN_LOGICAL_PLAN_H_
-#define ERQ_PLAN_LOGICAL_PLAN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -88,4 +87,3 @@ struct LogicalOperator {
 
 }  // namespace erq
 
-#endif  // ERQ_PLAN_LOGICAL_PLAN_H_

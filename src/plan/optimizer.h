@@ -1,5 +1,4 @@
-#ifndef ERQ_PLAN_OPTIMIZER_H_
-#define ERQ_PLAN_OPTIMIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -62,4 +61,3 @@ std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred);
 
 }  // namespace erq
 
-#endif  // ERQ_PLAN_OPTIMIZER_H_

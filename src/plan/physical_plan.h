@@ -1,5 +1,4 @@
-#ifndef ERQ_PLAN_PHYSICAL_PLAN_H_
-#define ERQ_PLAN_PHYSICAL_PLAN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -102,4 +101,3 @@ struct PhysicalOperator {
 
 }  // namespace erq
 
-#endif  // ERQ_PLAN_PHYSICAL_PLAN_H_

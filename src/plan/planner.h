@@ -1,5 +1,4 @@
-#ifndef ERQ_PLAN_PLANNER_H_
-#define ERQ_PLAN_PLANNER_H_
+#pragma once
 
 #include <memory>
 
@@ -43,4 +42,3 @@ class Planner {
 
 }  // namespace erq
 
-#endif  // ERQ_PLAN_PLANNER_H_

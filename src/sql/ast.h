@@ -1,5 +1,4 @@
-#ifndef ERQ_SQL_AST_H_
-#define ERQ_SQL_AST_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -105,4 +104,3 @@ struct Statement {
 
 }  // namespace erq
 
-#endif  // ERQ_SQL_AST_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_SQL_LEXER_H_
-#define ERQ_SQL_LEXER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -32,4 +31,3 @@ class Lexer {
 
 }  // namespace erq
 
-#endif  // ERQ_SQL_LEXER_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_SQL_PARSER_H_
-#define ERQ_SQL_PARSER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -73,4 +72,3 @@ class Parser {
 
 }  // namespace erq
 
-#endif  // ERQ_SQL_PARSER_H_

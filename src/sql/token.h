@@ -1,5 +1,4 @@
-#ifndef ERQ_SQL_TOKEN_H_
-#define ERQ_SQL_TOKEN_H_
+#pragma once
 
 #include <string>
 
@@ -45,4 +44,3 @@ bool IsReservedKeyword(const std::string& word);
 
 }  // namespace erq
 
-#endif  // ERQ_SQL_TOKEN_H_

@@ -15,7 +15,11 @@ Status StatsCatalog::AnalyzeTable(const Catalog& catalog,
                                   const std::string& table_name) {
   ERQ_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(table_name));
   const Schema& schema = table->schema();
-  row_counts_[ToLower(table_name)] = table->num_rows();
+  // Scan outside the lock (analysis is the expensive part), then commit
+  // the finished snapshot atomically.
+  std::vector<std::pair<std::string, std::shared_ptr<const ColumnStats>>>
+      built;
+  built.reserve(schema.num_columns());
   for (size_t c = 0; c < schema.num_columns(); ++c) {
     ColumnStats stats;
     stats.row_count = table->num_rows();
@@ -36,8 +40,13 @@ Status StatsCatalog::AnalyzeTable(const Catalog& catalog,
     stats.ndv = static_cast<double>(distinct_hashes.size());
     stats.histogram =
         EquiDepthHistogram::Build(std::move(non_null), histogram_buckets_);
-    column_stats_[ColumnKey(table_name, schema.column(c).name)] =
-        std::move(stats);
+    built.emplace_back(ColumnKey(table_name, schema.column(c).name),
+                       std::make_shared<const ColumnStats>(std::move(stats)));
+  }
+  MutexLock lock(&mu_);
+  row_counts_[ToLower(table_name)] = table->num_rows();
+  for (auto& [key, stats] : built) {
+    column_stats_[key] = std::move(stats);
   }
   return Status::OK();
 }
@@ -49,23 +58,30 @@ Status StatsCatalog::AnalyzeAll(const Catalog& catalog) {
   return Status::OK();
 }
 
-const ColumnStats* StatsCatalog::GetColumnStats(
+std::shared_ptr<const ColumnStats> StatsCatalog::GetColumnStats(
     const std::string& table_name, const std::string& column_name) const {
-  auto it = column_stats_.find(ColumnKey(table_name, column_name));
-  return it == column_stats_.end() ? nullptr : &it->second;
+  std::string key = ColumnKey(table_name, column_name);
+  MutexLock lock(&mu_);
+  auto it = column_stats_.find(key);
+  return it == column_stats_.end() ? nullptr : it->second;
 }
 
 size_t StatsCatalog::GetRowCount(const std::string& table_name) const {
-  auto it = row_counts_.find(ToLower(table_name));
+  std::string key = ToLower(table_name);
+  MutexLock lock(&mu_);
+  auto it = row_counts_.find(key);
   return it == row_counts_.end() ? 0 : it->second;
 }
 
 bool StatsCatalog::HasTableStats(const std::string& table_name) const {
-  return row_counts_.count(ToLower(table_name)) > 0;
+  std::string key = ToLower(table_name);
+  MutexLock lock(&mu_);
+  return row_counts_.count(key) > 0;
 }
 
 void StatsCatalog::Invalidate(const std::string& table_name) {
   std::string prefix = ToLower(table_name) + ".";
+  MutexLock lock(&mu_);
   for (auto it = column_stats_.begin(); it != column_stats_.end();) {
     if (StartsWith(it->first, prefix)) {
       it = column_stats_.erase(it);

@@ -1,10 +1,11 @@
-#ifndef ERQ_STATS_ANALYZER_H_
-#define ERQ_STATS_ANALYZER_H_
+#pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "catalog/catalog.h"
 #include "stats/column_stats.h"
 
@@ -14,6 +15,12 @@ namespace erq {
 /// statistics collection program before the experiments (§3.1). Call
 /// AnalyzeAll() (or AnalyzeTable) after loading data; the cost model reads
 /// the snapshot through GetColumnStats()/GetRowCount().
+///
+/// Thread safety: internally synchronized. The optimizer consults the
+/// catalog on every query while table updates invalidate entries
+/// concurrently, so lookups hand out shared_ptr snapshots — a stats
+/// object stays valid for as long as the caller holds it, even if
+/// Invalidate() drops it from the catalog meanwhile.
 class StatsCatalog {
  public:
   explicit StatsCatalog(size_t histogram_buckets = 64)
@@ -25,9 +32,10 @@ class StatsCatalog {
   /// Analyzes every table in the catalog.
   Status AnalyzeAll(const Catalog& catalog);
 
-  /// Stats for table.column, or nullptr if not analyzed.
-  const ColumnStats* GetColumnStats(const std::string& table_name,
-                                    const std::string& column_name) const;
+  /// Stats for table.column, or nullptr if not analyzed. The snapshot is
+  /// immutable and remains valid after concurrent invalidation.
+  std::shared_ptr<const ColumnStats> GetColumnStats(
+      const std::string& table_name, const std::string& column_name) const;
 
   /// Analyzed row count; falls back to 0 when unknown.
   size_t GetRowCount(const std::string& table_name) const;
@@ -38,13 +46,16 @@ class StatsCatalog {
   void Invalidate(const std::string& table_name);
 
  private:
-  std::string ColumnKey(const std::string& table, const std::string& column) const;
+  std::string ColumnKey(const std::string& table,
+                        const std::string& column) const;
 
-  size_t histogram_buckets_;
-  std::unordered_map<std::string, ColumnStats> column_stats_;
-  std::unordered_map<std::string, size_t> row_counts_;
+  const size_t histogram_buckets_;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const ColumnStats>>
+      column_stats_ ERQ_GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> row_counts_ ERQ_GUARDED_BY(mu_);
 };
 
 }  // namespace erq
 
-#endif  // ERQ_STATS_ANALYZER_H_

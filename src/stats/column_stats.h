@@ -1,5 +1,4 @@
-#ifndef ERQ_STATS_COLUMN_STATS_H_
-#define ERQ_STATS_COLUMN_STATS_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -41,4 +40,3 @@ struct ColumnStats {
 
 }  // namespace erq
 
-#endif  // ERQ_STATS_COLUMN_STATS_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_STATS_HISTOGRAM_H_
-#define ERQ_STATS_HISTOGRAM_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -48,4 +47,3 @@ class EquiDepthHistogram {
 
 }  // namespace erq
 
-#endif  // ERQ_STATS_HISTOGRAM_H_

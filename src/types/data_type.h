@@ -1,5 +1,4 @@
-#ifndef ERQ_TYPES_DATA_TYPE_H_
-#define ERQ_TYPES_DATA_TYPE_H_
+#pragma once
 
 namespace erq {
 
@@ -41,4 +40,3 @@ inline bool TypesComparable(DataType a, DataType b) {
 
 }  // namespace erq
 
-#endif  // ERQ_TYPES_DATA_TYPE_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_TYPES_DATE_H_
-#define ERQ_TYPES_DATE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -28,4 +27,3 @@ bool IsLeapYear(int year);
 
 }  // namespace erq
 
-#endif  // ERQ_TYPES_DATE_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_TYPES_SCHEMA_H_
-#define ERQ_TYPES_SCHEMA_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,4 +50,3 @@ class Schema {
 
 }  // namespace erq
 
-#endif  // ERQ_TYPES_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef ERQ_TYPES_VALUE_H_
-#define ERQ_TYPES_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -108,4 +107,3 @@ struct RowHash {
 
 }  // namespace erq
 
-#endif  // ERQ_TYPES_VALUE_H_

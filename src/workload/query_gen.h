@@ -1,5 +1,4 @@
-#ifndef ERQ_WORKLOAD_QUERY_GEN_H_
-#define ERQ_WORKLOAD_QUERY_GEN_H_
+#pragma once
 
 #include <random>
 #include <string>
@@ -60,4 +59,3 @@ class QueryGenerator {
 
 }  // namespace erq
 
-#endif  // ERQ_WORKLOAD_QUERY_GEN_H_

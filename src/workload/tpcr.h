@@ -1,5 +1,4 @@
-#ifndef ERQ_WORKLOAD_TPCR_H_
-#define ERQ_WORKLOAD_TPCR_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_set>
@@ -85,4 +84,3 @@ DatasetSummary SummarizeDataset(const TpcrInstance& instance);
 
 }  // namespace erq
 
-#endif  // ERQ_WORKLOAD_TPCR_H_

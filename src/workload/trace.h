@@ -1,5 +1,4 @@
-#ifndef ERQ_WORKLOAD_TRACE_H_
-#define ERQ_WORKLOAD_TRACE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -49,4 +48,3 @@ TraceStats ComputeTraceStats(const std::vector<TraceQuery>& trace);
 
 }  // namespace erq
 
-#endif  // ERQ_WORKLOAD_TRACE_H_

@@ -1,13 +1,21 @@
-// CaqpCache is internally synchronized (many RDBMS sessions consult C_aqp
-// concurrently, and even lookups flip clock bits). These tests hammer the
-// cache from multiple threads and verify the invariants hold afterwards.
+// CaqpCache, MvEmptyCache, and EmptyResultManager are internally
+// synchronized (many RDBMS sessions consult C_aqp concurrently, and even
+// lookups flip clock bits / LRU order). These tests hammer the shared
+// structures from multiple threads and verify the invariants hold
+// afterwards. They carry the `concurrency` ctest label so the TSan build
+// can run exactly this binary (`ctest -L concurrency`); the assertions are
+// deliberately light — under TSan the value of these tests is the absence
+// of data-race reports, not the final counts.
 
 #include <atomic>
 #include <random>
 #include <thread>
 
 #include "core/caqp_cache.h"
+#include "core/manager.h"
 #include "gtest/gtest.h"
+#include "mv/mv_cache.h"
+#include "test_util.h"
 
 namespace erq {
 namespace {
@@ -114,6 +122,143 @@ TEST(ConcurrencyTest, ConcurrentSerializationIsConsistent) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_FALSE(failed.load());
+}
+
+// A deliberately tiny capacity keeps the cache at its limit the whole
+// time, so every writer drives the clock hand, the free list, and the
+// redundancy sweep while readers scan the same entries — the hottest
+// interleaving for TSan to chew on.
+TEST(ConcurrencyTest, EvictionChurnUnderContention) {
+  const size_t n_max = 32;
+  CaqpCache cache(n_max);
+  const int kWriters = 4;
+  const int kReaders = 4;
+  const int kOpsPerThread = 3000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(7000 + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        // Key space far wider than n_max => nearly every insert evicts.
+        cache.Insert(Point("t", static_cast<int64_t>(rng() % 4096)));
+      }
+      stop.store(true);
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      while (!stop.load()) {
+        cache.CoveredBy(Point("t", static_cast<int64_t>(rng() % 4096)));
+        if (rng() % 64 == 0) {
+          std::vector<AtomicQueryPart> snap = cache.Snapshot();
+          ASSERT_LE(snap.size(), n_max);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_LE(cache.size(), n_max);
+  CaqpCache::CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.insert_attempts,
+            static_cast<uint64_t>(kWriters) * kOpsPerThread);
+}
+
+TEST(ConcurrencyTest, MvCacheConcurrentRecordAndCheck) {
+  testing::FixtureDb db;
+  std::vector<LogicalOpPtr> plans;
+  for (int i = 0; i < 16; ++i) {
+    auto plan = db.Plan("SELECT a FROM A WHERE a = " + std::to_string(i));
+    ASSERT_TRUE(plan.ok());
+    plans.push_back(*plan);
+  }
+
+  MvEmptyCache mv(8);  // smaller than the plan set => LRU churn
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      for (int op = 0; op < 2000; ++op) {
+        const LogicalOpPtr& plan = plans[rng() % plans.size()];
+        switch (rng() % 4) {
+          case 0:
+            mv.RecordEmpty(plan);
+            break;
+          case 1:
+            mv.CheckEmpty(plan);
+            break;
+          case 2:
+            ASSERT_LE(mv.size(), 8u);
+            break;
+          case 3:
+            if (rng() % 32 == 0) mv.Clear();
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_LE(mv.size(), 8u);
+  MvEmptyCache::MvStats stats = mv.stats();
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_GT(stats.stored, 0u);
+}
+
+// Whole-pipeline stress: concurrent sessions issue queries (some provably
+// empty, some not) through one manager while another thread fires
+// invalidations, exercising the stats/cost-gate mutex and the detector's
+// cache lock together.
+TEST(ConcurrencyTest, ManagerConcurrentQueriesAndInvalidation) {
+  testing::FixtureDb db;
+  EmptyResultConfig config;
+  config.c_cost = 0.0;  // every query is "high cost" => always check
+  EmptyResultManager manager(&db.catalog(), &db.stats(), config);
+
+  const int kSessions = 4;
+  const int kQueriesPerSession = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> issued{0};
+
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < kSessions; ++t) {
+    sessions.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      for (int op = 0; op < kQueriesPerSession; ++op) {
+        // a ranges over 10..19, so half of these come back empty and get
+        // harvested into C_aqp; repeats then hit the detection path.
+        int64_t a = 10 + static_cast<int64_t>(rng() % 20);
+        auto outcome =
+            manager.Query("SELECT a, b FROM A WHERE a = " + std::to_string(a));
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        issued.fetch_add(1, std::memory_order_relaxed);
+        if (outcome->detected_empty) {
+          EXPECT_TRUE(outcome->result_empty);
+          EXPECT_FALSE(outcome->executed);
+        }
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    std::mt19937_64 rng(99);
+    while (!stop.load()) {
+      manager.OnTableUpdated(rng() % 2 == 0 ? "A" : "B");
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : sessions) t.join();
+  stop.store(true);
+  invalidator.join();
+
+  ManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.queries,
+            static_cast<uint64_t>(kSessions) * kQueriesPerSession);
+  EXPECT_EQ(stats.queries, issued.load());
+  EXPECT_EQ(stats.detected_empty + stats.executed, stats.queries);
 }
 
 }  // namespace

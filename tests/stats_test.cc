@@ -81,12 +81,12 @@ TEST(AnalyzerTest, AnalyzeTableBuildsStats) {
   ASSERT_TRUE(stats.AnalyzeAll(catalog).ok());
   EXPECT_EQ(stats.GetRowCount("t"), 50u);
   EXPECT_TRUE(stats.HasTableStats("T"));
-  const ColumnStats* x = stats.GetColumnStats("t", "x");
+  std::shared_ptr<const ColumnStats> x = stats.GetColumnStats("t", "x");
   ASSERT_NE(x, nullptr);
   EXPECT_EQ(x->ndv, 10.0);
   EXPECT_EQ(x->min->AsInt(), 0);
   EXPECT_EQ(x->max->AsInt(), 9);
-  const ColumnStats* s = stats.GetColumnStats("t", "s");
+  std::shared_ptr<const ColumnStats> s = stats.GetColumnStats("t", "s");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->null_count, 10u);
 }

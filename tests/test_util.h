@@ -1,5 +1,4 @@
-#ifndef ERQ_TESTS_TEST_UTIL_H_
-#define ERQ_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -123,4 +122,3 @@ inline std::vector<Row> Sorted(std::vector<Row> rows) {
 
 }  // namespace erq::testing
 
-#endif  // ERQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Correctness gate: the three-way matrix every PR must pass.
+#
+#   tools/check.sh            # run everything available on this machine
+#   tools/check.sh plain      # -Wall -Wextra -Werror build + full ctest
+#   tools/check.sh asan       # ASan+UBSan build + full ctest
+#   tools/check.sh tsan       # TSan build + `ctest -L concurrency` + unit run
+#   tools/check.sh tidy       # run-clang-tidy over compile_commands.json
+#   tools/check.sh clang      # clang build with -Werror=thread-safety
+#
+# Each job uses its own build tree (build-check-<job>) so flavors never
+# contaminate each other. Exits nonzero on the first regression. Jobs whose
+# toolchain is missing (clang-tidy / clang on a gcc-only box) are reported
+# as SKIPPED — the CI image carries the full toolchain, so nothing is
+# silently skipped there.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+JOBS="${CHECK_JOBS:-$(nproc)}"
+FAILED=()
+SKIPPED=()
+
+log()  { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+ok()   { printf '\033[1;32mPASS\033[0m %s\n' "$*"; }
+bad()  { printf '\033[1;31mFAIL\033[0m %s\n' "$*"; FAILED+=("$*"); }
+skip() { printf '\033[1;33mSKIP\033[0m %s\n' "$*"; SKIPPED+=("$*"); }
+
+configure_build_test() {
+  # configure_build_test <name> <ctest-args...> -- <cmake-args...>
+  local name="$1"; shift
+  local ctest_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do ctest_args+=("$1"); shift; done
+  shift  # --
+  local dir="$ROOT/build-check-$name"
+  log "$name: configure"
+  cmake -B "$dir" -S "$ROOT" "$@" || { bad "$name (configure)"; return 1; }
+  log "$name: build"
+  cmake --build "$dir" -j "$JOBS" || { bad "$name (build)"; return 1; }
+  log "$name: ctest ${ctest_args[*]:-}"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${ctest_args[@]}") \
+    || { bad "$name (ctest)"; return 1; }
+  ok "$name"
+}
+
+run_plain() {
+  configure_build_test plain -- -DERQ_WERROR=ON
+}
+
+run_asan() {
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  configure_build_test asan -- -DERQ_SANITIZE=address+undefined
+}
+
+run_tsan() {
+  # Full suite is valuable but slow under TSan; the labeled concurrency
+  # tests are the ones with real thread interleavings, so run those always
+  # and let CHECK_TSAN_FULL=1 opt into everything.
+  local ctest_args=(-L concurrency)
+  [[ "${CHECK_TSAN_FULL:-0}" == "1" ]] && ctest_args=()
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  configure_build_test tsan "${ctest_args[@]}" -- -DERQ_SANITIZE=thread
+}
+
+run_clang() {
+  local cxx
+  cxx=$(command -v clang++ || true)
+  if [[ -z "$cxx" ]]; then
+    skip "clang (clang++ not installed; thread-safety analysis needs clang)"
+    return 0
+  fi
+  configure_build_test clang -- -DCMAKE_CXX_COMPILER="$cxx" -DERQ_WERROR=ON
+}
+
+run_tidy() {
+  local runner
+  runner=$(command -v run-clang-tidy || command -v run-clang-tidy-18 \
+           || command -v run-clang-tidy-14 || true)
+  if [[ -z "$runner" ]]; then
+    skip "tidy (run-clang-tidy not installed)"
+    return 0
+  fi
+  local dir="$ROOT/build-check-plain"
+  if [[ ! -f "$dir/compile_commands.json" ]]; then
+    log "tidy: configuring $dir for compile_commands.json"
+    cmake -B "$dir" -S "$ROOT" || { bad "tidy (configure)"; return 1; }
+  fi
+  log "tidy: run-clang-tidy over src/"
+  "$runner" -quiet -p "$dir" "$ROOT/src/.*" \
+    || { bad "tidy"; return 1; }
+  ok "tidy"
+}
+
+main() {
+  local jobs=("$@")
+  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain asan tsan clang tidy)
+  for job in "${jobs[@]}"; do
+    case "$job" in
+      plain) run_plain ;;
+      asan)  run_asan ;;
+      tsan)  run_tsan ;;
+      clang) run_clang ;;
+      tidy)  run_tidy ;;
+      *) echo "unknown job: $job (want plain|asan|tsan|clang|tidy)" >&2
+         exit 2 ;;
+    esac
+  done
+
+  echo
+  [[ ${#SKIPPED[@]} -gt 0 ]] && printf 'skipped: %s\n' "${SKIPPED[*]}"
+  if [[ ${#FAILED[@]} -gt 0 ]]; then
+    printf 'FAILED: %s\n' "${FAILED[*]}"
+    exit 1
+  fi
+  echo "all checks passed"
+}
+
+main "$@"

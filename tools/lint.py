@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Project lint: header hygiene and banned functions.
+
+Checks (all file-level, no compiler needed):
+  1. Every header under src/ and tests/ starts with `#pragma once` (first
+     non-comment, non-blank line).
+  2. Includes never use `../` or `./` path segments, and project headers
+     are included by their src/-relative path (`#include "core/..."`),
+     never relative to the including file.
+  3. No `using namespace` at file or namespace scope inside headers.
+  4. Banned unbounded C string functions: strcpy, strcat, sprintf,
+     vsprintf, gets (use std::string / snprintf).
+
+Run from the repository root (the lint ctest does this automatically):
+    python3 tools/lint.py
+Exits nonzero and prints file:line diagnostics on any violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC_DIRS = ["src", "tests", "bench", "examples"]
+HEADER_DIRS = ["src", "tests"]
+
+# Quoted includes must name a file under src/ by its src/-relative path,
+# one of these third-party prefixes, or (from tests/) a tests/-local file.
+THIRD_PARTY_PREFIXES = ("gtest/", "gmock/", "benchmark/")
+
+BANNED_FUNCTIONS = re.compile(r"\b(strcpy|strcat|sprintf|vsprintf|gets)\s*\(")
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving line structure for line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif text[i] in "\"'":
+            quote = text[i]
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def iter_files(dirs, suffixes):
+    for d in dirs:
+        base = ROOT / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+def check_pragma_once(path, code_lines, errors):
+    for lineno, line in code_lines:
+        if not line.strip():
+            continue
+        if not PRAGMA_ONCE.match(line):
+            errors.append(
+                f"{path}:{lineno}: header must start with '#pragma once' "
+                f"(found: {line.strip()!r})")
+        return
+    errors.append(f"{path}:1: empty header (missing '#pragma once')")
+
+
+def check_includes(path, code_lines, errors):
+    rel = path.relative_to(ROOT)
+    for lineno, line in code_lines:
+        m = QUOTED_INCLUDE.match(line)
+        if not m:
+            continue
+        inc = m.group(1)
+        where = f"{path}:{lineno}"
+        if inc.startswith("./") or "../" in inc:
+            errors.append(
+                f"{where}: include path {inc!r} uses relative segments; "
+                f"use the src/-relative path instead")
+            continue
+        if inc.startswith(THIRD_PARTY_PREFIXES):
+            continue
+        if (ROOT / "src" / inc).is_file():
+            continue
+        # tests/ (and bench/, examples/) may include helpers that live next
+        # to them, e.g. tests/test_util.h.
+        if rel.parts[0] != "src" and (ROOT / rel.parts[0] / inc).is_file():
+            continue
+        errors.append(
+            f"{where}: include {inc!r} does not resolve to a src/-relative "
+            f"project header or a known third-party prefix")
+
+
+def check_using_namespace(path, code_lines, errors):
+    for lineno, line in code_lines:
+        if USING_NAMESPACE.match(line):
+            errors.append(
+                f"{path}:{lineno}: 'using namespace' in a header leaks into "
+                f"every includer; qualify names instead")
+
+
+def check_banned_functions(path, code_lines, errors):
+    for lineno, line in code_lines:
+        m = BANNED_FUNCTIONS.search(line)
+        if m:
+            errors.append(
+                f"{path}:{lineno}: banned function {m.group(1)!r} "
+                f"(unbounded C string write; use std::string or snprintf)")
+
+
+def main() -> int:
+    errors = []
+
+    for path in iter_files(HEADER_DIRS, {".h"}):
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        code_lines = list(enumerate(text.splitlines(), start=1))
+        check_pragma_once(path, code_lines, errors)
+        check_using_namespace(path, code_lines, errors)
+
+    for path in iter_files(SRC_DIRS, {".h", ".cc"}):
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        code_lines = list(enumerate(text.splitlines(), start=1))
+        check_includes(path, code_lines, errors)
+        check_banned_functions(path, code_lines, errors)
+
+    if errors:
+        print(f"lint: {len(errors)} violation(s)", file=sys.stderr)
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
