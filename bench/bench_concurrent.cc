@@ -1,0 +1,176 @@
+// Multithreaded C_aqp throughput benchmarks (google-benchmark threaded
+// mode): lookups/sec at 1/2/4/8 threads for hit-heavy, miss-heavy, and
+// mixed insert+lookup workloads at several N_max, plus the index ablation
+// (enable_index=false = the pre-index linear entry scan) so the subset-
+// index speedup stays measurable from this PR forward.
+//
+// The stored population spreads N parts over N/4 distinct relation names
+// (4 point conditions per relation), the shape where entry enumeration —
+// not the per-entry condition scan — dominates a probe. A hit probe asks
+// for a stored point; a miss probe asks for a point outside every stored
+// condition on an existing relation, forcing the full candidate walk.
+//
+// tools/bench_json.sh runs this binary together with bench_micro and
+// merges the results into BENCH_caqp.json.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+
+#include "core/caqp_cache.h"
+
+using namespace erq;
+
+namespace {
+
+constexpr size_t kPartsPerRelation = 4;
+
+AtomicQueryPart Point(const std::string& rel, int64_t x) {
+  return AtomicQueryPart(
+      RelationSet({rel}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make(rel, "x"), ValueInterval::Point(Value::Int(x)))}));
+}
+
+struct Workload {
+  std::unique_ptr<CaqpCache> cache;
+  size_t relations = 0;
+  // Pre-built probe pools so the timed loop measures CoveredBy itself,
+  // not AtomicQueryPart construction (strings + vectors dominate
+  // otherwise). Read-only after construction: safe to share across the
+  // benchmark threads.
+  std::vector<AtomicQueryPart> hit_probes;
+  std::vector<AtomicQueryPart> miss_probes;
+
+  const AtomicQueryPart& HitProbe(std::mt19937_64& rng) const {
+    return hit_probes[rng() % hit_probes.size()];
+  }
+  const AtomicQueryPart& MissProbe(std::mt19937_64& rng) const {
+    return miss_probes[rng() % miss_probes.size()];
+  }
+};
+
+enum class Kind { kLookup, kMixed };
+
+/// Shared, lazily built workloads. Threads of one benchmark run their
+/// setup concurrently, so construction is serialized; workloads are kept
+/// for the binary's lifetime (the mixed workload is intentionally reused —
+/// it stays in eviction steady state across repetitions).
+Workload& GetWorkload(size_t n, bool indexed, Kind kind) {
+  static std::mutex mu;
+  static std::map<std::tuple<size_t, bool, Kind>, std::unique_ptr<Workload>>
+      registry;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = registry[{n, indexed, kind}];
+  if (slot == nullptr) {
+    auto w = std::make_unique<Workload>();
+    w->relations = n / kPartsPerRelation;
+    // Lookup workloads get headroom so the population is complete; the
+    // mixed workload runs exactly at capacity so inserts churn the clock.
+    size_t n_max = kind == Kind::kMixed ? n : n + kPartsPerRelation;
+    w->cache = std::make_unique<CaqpCache>(n_max, EvictionPolicy::kClock,
+                                           /*enable_signatures=*/true,
+                                           indexed);
+    for (size_t r = 0; r < w->relations; ++r) {
+      std::string rel = "r" + std::to_string(r);
+      for (size_t v = 0; v < kPartsPerRelation; ++v) {
+        w->cache->Insert(Point(rel, static_cast<int64_t>(v)));
+      }
+    }
+    std::mt19937_64 rng(42);
+    const size_t kPoolSize = 8192;
+    w->hit_probes.reserve(kPoolSize);
+    w->miss_probes.reserve(kPoolSize);
+    for (size_t i = 0; i < kPoolSize; ++i) {
+      std::string rel = "r" + std::to_string(rng() % w->relations);
+      w->hit_probes.push_back(
+          Point(rel, static_cast<int64_t>(rng() % kPartsPerRelation)));
+      w->miss_probes.push_back(
+          Point(rel, static_cast<int64_t>(kPartsPerRelation +
+                                          rng() % kPartsPerRelation)));
+    }
+    slot = std::move(w);
+  }
+  return *slot;
+}
+
+void RunLookups(benchmark::State& state, bool indexed, bool hit) {
+  Workload& w =
+      GetWorkload(static_cast<size_t>(state.range(0)), indexed, Kind::kLookup);
+  std::mt19937_64 rng(7919 * (state.thread_index() + 1));
+  for (auto _ : state) {
+    AtomicQueryPart probe = hit ? w.HitProbe(rng) : w.MissProbe(rng);
+    bool covered = w.cache->CoveredBy(probe);
+    if (covered != hit) state.SkipWithError("unexpected lookup outcome");
+    benchmark::DoNotOptimize(covered);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LookupHit(benchmark::State& state) {
+  RunLookups(state, /*indexed=*/true, /*hit=*/true);
+}
+void BM_LookupMiss(benchmark::State& state) {
+  RunLookups(state, /*indexed=*/true, /*hit=*/false);
+}
+// The pre-index baseline: every probe scans all N/8 entries.
+void BM_LookupHitIndexOff(benchmark::State& state) {
+  RunLookups(state, /*indexed=*/false, /*hit=*/true);
+}
+void BM_LookupMissIndexOff(benchmark::State& state) {
+  RunLookups(state, /*indexed=*/false, /*hit=*/false);
+}
+
+// 1 insert per 16 lookups at capacity: writers take the exclusive side,
+// drive eviction + entry GC, and mix with the shared-lock probe stream.
+void BM_MixedInsertLookup(benchmark::State& state) {
+  Workload& w =
+      GetWorkload(static_cast<size_t>(state.range(0)), true, Kind::kMixed);
+  std::mt19937_64 rng(104729 * (state.thread_index() + 1));
+  size_t op = 0;
+  for (auto _ : state) {
+    if ((op++ & 15) == 0) {
+      w.cache->Insert(w.MissProbe(rng));  // novel part => store + evict
+    } else {
+      bool covered = w.cache->CoveredBy(w.HitProbe(rng));
+      benchmark::DoNotOptimize(covered);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_LookupHit)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_LookupMiss)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_LookupHitIndexOff)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_LookupMissIndexOff)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_MixedInsertLookup)
+    ->Arg(4096)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

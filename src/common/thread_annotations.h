@@ -15,7 +15,10 @@
 // ERQ_GUARDED_BY and every method with a locking precondition carries
 // ERQ_REQUIRES; `tools/check.sh clang` builds with the analysis enabled.
 
+#include <atomic>
 #include <mutex>
+#include <shared_mutex>
+#include <thread>
 
 #if defined(__clang__) && defined(__has_attribute)
 #define ERQ_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -49,6 +52,8 @@
   ERQ_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
 #define ERQ_RELEASE(...) \
   ERQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ERQ_RELEASE_SHARED(...) \
+  ERQ_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
 #define ERQ_TRY_ACQUIRE(...) \
   ERQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
 
@@ -98,6 +103,74 @@ class ERQ_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* mu_;
+};
+
+/// std::shared_mutex wrapper carrying the capability annotations: many
+/// readers or one writer. Read-mostly structures (C_aqp's lookup path)
+/// take the shared side so concurrent probes never serialize; mutation
+/// takes the exclusive side. Under the analysis, holding the shared side
+/// permits reads of ERQ_GUARDED_BY members but not writes.
+///
+/// Writer preference: glibc's underlying rwlock admits new readers while a
+/// writer waits, so a steady probe stream can starve Insert/invalidation
+/// indefinitely. New readers therefore back off (yield) while any writer
+/// is parked — already-admitted readers drain, the writer runs, and the
+/// readers resume. One relaxed atomic load on the uncontended read path.
+class ERQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ERQ_ACQUIRE() {
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    mu_.lock();
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  void Unlock() ERQ_RELEASE() { mu_.unlock(); }
+  void ReaderLock() ERQ_ACQUIRE_SHARED() {
+    while (writers_waiting_.load(std::memory_order_relaxed) > 0) {
+      std::this_thread::yield();
+    }
+    mu_.lock_shared();
+  }
+  void ReaderUnlock() ERQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<int> writers_waiting_{0};
+};
+
+/// RAII exclusive lock for erq::SharedMutex.
+class ERQ_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ERQ_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() ERQ_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared (reader) lock for erq::SharedMutex. The destructor uses the
+/// generic release annotation (abseil's scheme): a scoped capability
+/// releases whatever mode it acquired.
+class ERQ_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ERQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() ERQ_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
 };
 
 }  // namespace erq

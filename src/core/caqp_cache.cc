@@ -1,66 +1,142 @@
 #include "core/caqp_cache.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
 
 #include "common/string_util.h"
 
 namespace erq {
 
+namespace {
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 bool CaqpCache::CoveredBy(const AtomicQueryPart& aqp) {
-  MutexLock lock(&mu_);
-  ++stats_.lookups;
   RelationSignature query_sig = RelationSignature::Of(aqp.relations());
-  for (Entry& entry : entries_) {
-    if (entry.items.empty()) continue;
-    // Stored part covers `aqp` only if its relation set is a subset of
-    // aqp's (§2.4: "search in those entries of C_aqp whose relation names
-    // form a subset of the relation names of P_i").
-    if (enable_signatures_ && !entry.signature.MaybeSubsetOf(query_sig)) {
-      continue;
-    }
-    if (!entry.relations.IsSubsetOf(aqp.relations())) continue;
-    for (size_t slot : entry.items) {
-      Item& item = slots_[slot];
-      ++stats_.conditions_scanned;
-      if (item.aqp.Covers(aqp)) {
-        item.ref = true;
-        item.used_seq = ++seq_;
-        ++stats_.hits;
-        return true;
-      }
+  LookupWork work;
+  bool hit;
+  {
+    ReaderMutexLock lock(&mu_);
+    hit = FindCoveringLocked(aqp, query_sig, &work);
+  }
+  // Flush the per-call tally with one relaxed add per counter. Doing this
+  // outside the shared region keeps the lock hold time minimal.
+  counters_.lookups.fetch_add(1, kRelaxed);
+  counters_.postings_scanned.fetch_add(work.postings, kRelaxed);
+  counters_.candidate_entries.fetch_add(work.candidates, kRelaxed);
+  counters_.signature_rejects.fetch_add(work.signature_rejects, kRelaxed);
+  counters_.conditions_scanned.fetch_add(work.conditions, kRelaxed);
+  if (hit) counters_.hits.fetch_add(1, kRelaxed);
+  return hit;
+}
+
+bool CaqpCache::EntryCoversLocked(const Entry& entry,
+                                  const AtomicQueryPart& aqp,
+                                  const RelationSignature& query_sig,
+                                  LookupWork* work) const {
+  ++work->candidates;
+  // Stored part covers `aqp` only if its relation set is a subset of
+  // aqp's (§2.4: "search in those entries of C_aqp whose relation names
+  // form a subset of the relation names of P_i").
+  if (enable_signatures_ && !entry.signature.MaybeSubsetOf(query_sig)) {
+    ++work->signature_rejects;
+    return false;
+  }
+  if (!entry.relations.IsSubsetOf(aqp.relations())) return false;
+  for (size_t slot : entry.items) {
+    const Item& item = slots_[slot];
+    ++work->conditions;
+    if (item.aqp.Covers(aqp)) {
+      item.ref.store(true, kRelaxed);
+      item.used_seq.store(seq_.fetch_add(1, kRelaxed) + 1, kRelaxed);
+      return true;
     }
   }
   return false;
 }
 
+bool CaqpCache::FindCoveringLocked(const AtomicQueryPart& aqp,
+                                   const RelationSignature& query_sig,
+                                   LookupWork* work) const {
+  // The entry over the empty relation set (a TRUE-on-nothing part) is a
+  // subset of every probe but appears in no posting list.
+  if (empty_rel_entry_ != kNoEntry &&
+      EntryCoversLocked(entries_[empty_rel_entry_], aqp, query_sig, work)) {
+    return true;
+  }
+  if (!enable_index_) {
+    // Ablation fallback: the pre-index linear scan over every entry.
+    for (const Entry& entry : entries_) {
+      if (!entry.alive || entry.relations.empty()) continue;
+      if (EntryCoversLocked(entry, aqp, query_sig, work)) return true;
+    }
+    return false;
+  }
+  // A stored set ⊆ probe set has all its names among the probe's names, so
+  // it posts under its own first name, which is one of the names walked
+  // here; skipping posted entries whose first name differs visits each
+  // candidate exactly once without a dedup set.
+  for (const std::string& name : aqp.relations().names()) {
+    auto it = postings_.find(name);
+    if (it == postings_.end()) continue;
+    const std::vector<size_t>& list = it->second;
+    work->postings += list.size();
+    for (size_t id : list) {
+      const Entry& entry = entries_[id];
+      if (entry.relations.names().front() != name) continue;
+      if (EntryCoversLocked(entry, aqp, query_sig, work)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> CaqpCache::SupersetCandidatesLocked(
+    const RelationSet& relations) const {
+  std::vector<size_t> out;
+  if (!enable_index_ || relations.empty()) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].alive) out.push_back(i);
+    }
+    return out;
+  }
+  // Every superset entry mentions each of `relations`' names, so it posts
+  // under all of them; the rarest name's posting list is the cheapest
+  // complete candidate set. A name with no posting list at all means no
+  // entry can be a superset.
+  const std::vector<size_t>* best = nullptr;
+  for (const std::string& name : relations.names()) {
+    auto it = postings_.find(name);
+    if (it == postings_.end()) return out;
+    if (best == nullptr || it->second.size() < best->size()) {
+      best = &it->second;
+    }
+  }
+  out = *best;  // copied: the caller mutates the index while processing
+  return out;
+}
+
 void CaqpCache::Insert(const AtomicQueryPart& aqp) {
-  MutexLock lock(&mu_);
-  ++stats_.insert_attempts;
+  counters_.insert_attempts.fetch_add(1, kRelaxed);
   if (n_max_ == 0) return;
   RelationSignature new_sig = RelationSignature::Of(aqp.relations());
+  LookupWork scratch;  // insert-side searches are not lookup statistics
+
+  WriterMutexLock lock(&mu_);
 
   // Keep only the most general parts. First: is the new part redundant?
-  for (Entry& entry : entries_) {
-    if (entry.items.empty()) continue;
-    if (enable_signatures_ && !entry.signature.MaybeSubsetOf(new_sig)) {
-      continue;
-    }
-    if (!entry.relations.IsSubsetOf(aqp.relations())) continue;
-    for (size_t slot : entry.items) {
-      Item& item = slots_[slot];
-      if (item.aqp.Covers(aqp)) {
-        item.ref = true;  // the covering part proved useful again
-        item.used_seq = ++seq_;
-        ++stats_.skipped_covered;
-        return;
-      }
-    }
+  // (The covering part is marked recently used: it proved useful again.)
+  if (FindCoveringLocked(aqp, new_sig, &scratch)) {
+    counters_.skipped_covered.fetch_add(1, kRelaxed);
+    return;
   }
 
   // Second: drop stored parts that the new one covers (they live in
   // entries whose relation set is a superset of the new part's).
-  for (Entry& entry : entries_) {
-    if (entry.items.empty()) continue;
+  for (size_t id : SupersetCandidatesLocked(aqp.relations())) {
+    Entry& entry = entries_[id];
+    if (!entry.alive) continue;
     if (enable_signatures_ && !new_sig.MaybeSubsetOf(entry.signature)) {
       continue;
     }
@@ -69,20 +145,23 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
     kept.reserve(entry.items.size());
     for (size_t slot : entry.items) {
       if (aqp.Covers(slots_[slot].aqp)) {
-        slots_[slot].alive = false;
+        Item& victim = slots_[slot];
+        victim.alive = false;
+        victim.aqp = AtomicQueryPart();  // release the condition's memory
         free_slots_.push_back(slot);
         --live_;
-        ++stats_.removed_covered;
+        counters_.removed_covered.fetch_add(1, kRelaxed);
       } else {
         kept.push_back(slot);
       }
     }
     entry.items = std::move(kept);
+    if (entry.items.empty()) RemoveEntryLocked(id);
   }
 
-  while (live_ >= n_max_) EvictOne();
+  while (live_ >= n_max_) EvictOneLocked();
 
-  size_t entry_idx = GetOrCreateEntry(aqp.relations());
+  size_t entry_idx = GetOrCreateEntryLocked(aqp.relations());
   size_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -94,34 +173,40 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
   Item& item = slots_[slot];
   item.aqp = aqp;
   item.alive = true;
-  item.ref = true;
-  item.inserted_seq = ++seq_;
-  item.used_seq = item.inserted_seq;
+  item.inserted_seq = seq_.fetch_add(1, kRelaxed) + 1;
   item.entry_index = entry_idx;
+  item.ref.store(true, kRelaxed);
+  item.used_seq.store(item.inserted_seq, kRelaxed);
   entries_[entry_idx].items.push_back(slot);
   ++live_;
-  ++stats_.inserted;
+  counters_.inserted.fetch_add(1, kRelaxed);
 }
 
-void CaqpCache::EvictOne() {
+void CaqpCache::EvictOneLocked() {
   if (live_ == 0 || slots_.empty()) return;
-  ++stats_.evictions;
+  counters_.evictions.fetch_add(1, kRelaxed);
   switch (policy_) {
     case EvictionPolicy::kClock: {
-      while (true) {
+      // Bounded two-pass sweep: the first full revolution may clear every
+      // reference bit, the second must then find a victim — unless live_
+      // and slots_ disagree, which the repair path below handles instead
+      // of spinning forever.
+      const size_t bound = 2 * slots_.size() + 1;
+      for (size_t step = 0; step < bound; ++step) {
         if (clock_hand_ >= slots_.size()) clock_hand_ = 0;
         Item& item = slots_[clock_hand_];
         if (item.alive) {
-          if (item.ref) {
-            item.ref = false;
+          if (item.ref.load(kRelaxed)) {
+            item.ref.store(false, kRelaxed);
           } else {
-            RemoveItem(clock_hand_);
+            RemoveItemLocked(clock_hand_);
             ++clock_hand_;
             return;
           }
         }
         ++clock_hand_;
       }
+      break;
     }
     case EvictionPolicy::kLru:
     case EvictionPolicy::kFifo: {
@@ -130,99 +215,272 @@ void CaqpCache::EvictOne() {
       for (size_t i = 0; i < slots_.size(); ++i) {
         if (!slots_[i].alive) continue;
         uint64_t age = policy_ == EvictionPolicy::kLru
-                           ? slots_[i].used_seq
+                           ? slots_[i].used_seq.load(kRelaxed)
                            : slots_[i].inserted_seq;
         if (age < best) {
           best = age;
           victim = i;
         }
       }
-      if (victim < slots_.size()) RemoveItem(victim);
-      return;
+      if (victim < slots_.size()) {
+        RemoveItemLocked(victim);
+        return;
+      }
+      break;
     }
   }
+  // live_ > 0 yet no live slot was found: the bookkeeping has diverged.
+  // Re-derive the count so callers' `while (live_ >= n_max_)` loops
+  // terminate rather than spin.
+  assert(false && "CaqpCache: live_ > 0 but no live slot found");
+  size_t actual = 0;
+  for (const Item& item : slots_) {
+    if (item.alive) ++actual;
+  }
+  live_ = actual;
 }
 
-void CaqpCache::RemoveItem(size_t slot) {
+void CaqpCache::RemoveItemLocked(size_t slot) {
   Item& item = slots_[slot];
   Entry& entry = entries_[item.entry_index];
   entry.items.erase(std::find(entry.items.begin(), entry.items.end(), slot));
   item.alive = false;
+  item.aqp = AtomicQueryPart();  // release the condition's memory
   free_slots_.push_back(slot);
   --live_;
+  if (entry.items.empty()) RemoveEntryLocked(item.entry_index);
 }
 
-size_t CaqpCache::GetOrCreateEntry(const RelationSet& relations) {
+void CaqpCache::DropEntryItemsLocked(size_t idx) {
+  Entry& entry = entries_[idx];
+  for (size_t slot : entry.items) {
+    Item& item = slots_[slot];
+    item.alive = false;
+    item.aqp = AtomicQueryPart();
+    free_slots_.push_back(slot);
+    --live_;
+    counters_.invalidation_drops.fetch_add(1, kRelaxed);
+  }
+  entry.items.clear();
+  RemoveEntryLocked(idx);
+}
+
+void CaqpCache::RemoveEntryLocked(size_t idx) {
+  Entry& entry = entries_[idx];
+  entry_index_.erase(entry.relations.Key());
+  if (entry.relations.empty()) {
+    if (empty_rel_entry_ == idx) empty_rel_entry_ = kNoEntry;
+  } else {
+    for (const std::string& name : entry.relations.names()) {
+      auto it = postings_.find(name);
+      if (it == postings_.end()) continue;
+      std::vector<size_t>& list = it->second;
+      auto pos = std::find(list.begin(), list.end(), idx);
+      if (pos != list.end()) {
+        *pos = list.back();  // order within a posting list is irrelevant
+        list.pop_back();
+      }
+      if (list.empty()) postings_.erase(it);
+    }
+  }
+  entry.alive = false;
+  entry.relations = RelationSet();
+  entry.signature = RelationSignature();
+  entry.items.clear();
+  free_entries_.push_back(idx);
+}
+
+size_t CaqpCache::GetOrCreateEntryLocked(const RelationSet& relations) {
   std::string key = relations.Key();
   auto it = entry_index_.find(key);
   if (it != entry_index_.end()) return it->second;
-  Entry entry;
+  size_t idx;
+  if (!free_entries_.empty()) {
+    idx = free_entries_.back();
+    free_entries_.pop_back();
+  } else {
+    entries_.emplace_back();
+    idx = entries_.size() - 1;
+  }
+  Entry& entry = entries_[idx];
+  entry.alive = true;
   entry.relations = relations;
   entry.signature = RelationSignature::Of(relations);
-  entries_.push_back(std::move(entry));
-  size_t idx = entries_.size() - 1;
+  entry.items.clear();
+  if (relations.empty()) {
+    empty_rel_entry_ = idx;
+  } else {
+    for (const std::string& name : relations.names()) {
+      postings_[name].push_back(idx);
+    }
+  }
   entry_index_.emplace(std::move(key), idx);
   return idx;
 }
 
 void CaqpCache::Clear() {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   slots_.clear();
   free_slots_.clear();
   entries_.clear();
+  free_entries_.clear();
   entry_index_.clear();
+  postings_.clear();
+  empty_rel_entry_ = kNoEntry;
   live_ = 0;
   clock_hand_ = 0;
 }
 
 void CaqpCache::InvalidateRelation(const std::string& base_name) {
-  MutexLock lock(&mu_);
   std::string base = ToLower(base_name);
   std::string prefix = base + "#";
-  for (Entry& entry : entries_) {
-    bool mentions = false;
-    for (const std::string& rel : entry.relations.names()) {
-      if (rel == base || StartsWith(rel, prefix)) {
-        mentions = true;
-        break;
-      }
+  WriterMutexLock lock(&mu_);
+  // The posting-list keys are exactly the relation names of live entries,
+  // so matching keys (base or renamed occurrences "base#k") enumerate the
+  // affected entries. A self-join entry appears under several matching
+  // names — dedup before dropping, and copy the ids out because dropping
+  // mutates the index.
+  std::vector<size_t> affected;
+  for (const auto& [name, list] : postings_) {
+    if (name == base || StartsWith(name, prefix)) {
+      affected.insert(affected.end(), list.begin(), list.end());
     }
-    if (!mentions) continue;
-    for (size_t slot : entry.items) {
-      slots_[slot].alive = false;
-      free_slots_.push_back(slot);
-      --live_;
-      ++stats_.invalidation_drops;
-    }
-    entry.items.clear();
   }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (size_t idx : affected) DropEntryItemsLocked(idx);
 }
 
 size_t CaqpCache::DropIf(
     const std::function<bool(const AtomicQueryPart&)>& pred) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   size_t dropped = 0;
-  for (Entry& entry : entries_) {
+  for (size_t idx = 0; idx < entries_.size(); ++idx) {
+    Entry& entry = entries_[idx];
+    if (!entry.alive) continue;
     std::vector<size_t> kept;
     kept.reserve(entry.items.size());
     for (size_t slot : entry.items) {
       if (pred(slots_[slot].aqp)) {
-        slots_[slot].alive = false;
+        Item& item = slots_[slot];
+        item.alive = false;
+        item.aqp = AtomicQueryPart();
         free_slots_.push_back(slot);
         --live_;
         ++dropped;
-        ++stats_.invalidation_drops;
+        counters_.invalidation_drops.fetch_add(1, kRelaxed);
       } else {
         kept.push_back(slot);
       }
     }
     entry.items = std::move(kept);
+    if (entry.items.empty()) RemoveEntryLocked(idx);
   }
   return dropped;
 }
 
+CaqpCache::CacheStats CaqpCache::stats() const {
+  CacheStats out;
+  out.lookups = counters_.lookups.load(kRelaxed);
+  out.hits = counters_.hits.load(kRelaxed);
+  out.conditions_scanned = counters_.conditions_scanned.load(kRelaxed);
+  out.insert_attempts = counters_.insert_attempts.load(kRelaxed);
+  out.inserted = counters_.inserted.load(kRelaxed);
+  out.skipped_covered = counters_.skipped_covered.load(kRelaxed);
+  out.removed_covered = counters_.removed_covered.load(kRelaxed);
+  out.evictions = counters_.evictions.load(kRelaxed);
+  out.invalidation_drops = counters_.invalidation_drops.load(kRelaxed);
+  out.postings_scanned = counters_.postings_scanned.load(kRelaxed);
+  out.candidate_entries = counters_.candidate_entries.load(kRelaxed);
+  out.signature_rejects = counters_.signature_rejects.load(kRelaxed);
+  ReaderMutexLock lock(&mu_);
+  out.entries_live = entries_.size() - free_entries_.size();
+  out.entries_allocated = entries_.size();
+  out.index_names = postings_.size();
+  return out;
+}
+
+void CaqpCache::ResetStats() {
+  counters_.lookups.store(0, kRelaxed);
+  counters_.hits.store(0, kRelaxed);
+  counters_.conditions_scanned.store(0, kRelaxed);
+  counters_.insert_attempts.store(0, kRelaxed);
+  counters_.inserted.store(0, kRelaxed);
+  counters_.skipped_covered.store(0, kRelaxed);
+  counters_.removed_covered.store(0, kRelaxed);
+  counters_.evictions.store(0, kRelaxed);
+  counters_.invalidation_drops.store(0, kRelaxed);
+  counters_.postings_scanned.store(0, kRelaxed);
+  counters_.candidate_entries.store(0, kRelaxed);
+  counters_.signature_rejects.store(0, kRelaxed);
+}
+
+std::string CaqpCache::Explain() const {
+  size_t live, entries_live, entries_allocated, names;
+  size_t max_list = 0;
+  std::string max_name;
+  uint64_t total_list = 0;
+  {
+    ReaderMutexLock lock(&mu_);
+    live = live_;
+    entries_live = entries_.size() - free_entries_.size();
+    entries_allocated = entries_.size();
+    names = postings_.size();
+    for (const auto& [name, list] : postings_) {
+      total_list += list.size();
+      if (list.size() > max_list) {
+        max_list = list.size();
+        max_name = name;
+      }
+    }
+  }
+  CacheStats s = stats();
+  const char* policy = policy_ == EvictionPolicy::kClock  ? "clock"
+                       : policy_ == EvictionPolicy::kLru  ? "lru"
+                                                          : "fifo";
+  auto per_lookup = [&](uint64_t v) {
+    return s.lookups == 0 ? 0.0
+                          : static_cast<double>(v) /
+                                static_cast<double>(s.lookups);
+  };
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "C_aqp: %llu/%llu parts in %llu entries (%llu allocated), "
+                "%llu names indexed, policy=%s, signatures=%s, index=%s\n",
+                static_cast<unsigned long long>(live),
+                static_cast<unsigned long long>(n_max_),
+                static_cast<unsigned long long>(entries_live),
+                static_cast<unsigned long long>(entries_allocated),
+                static_cast<unsigned long long>(names), policy,
+                enable_signatures_ ? "on" : "off",
+                enable_index_ ? "on" : "off");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "index fan-out: avg posting list %.2f, max %llu (\"%s\")\n",
+                names == 0 ? 0.0
+                           : static_cast<double>(total_list) /
+                                 static_cast<double>(names),
+                static_cast<unsigned long long>(max_list), max_name.c_str());
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "lookups=%llu hits=%llu (%.1f%%); per lookup: postings=%.2f "
+      "candidates=%.2f sig-rejects=%.2f cover-tests=%.2f",
+      static_cast<unsigned long long>(s.lookups),
+      static_cast<unsigned long long>(s.hits),
+      s.lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(s.hits) /
+                           static_cast<double>(s.lookups),
+      per_lookup(s.postings_scanned), per_lookup(s.candidate_entries),
+      per_lookup(s.signature_rejects), per_lookup(s.conditions_scanned));
+  out += buf;
+  return out;
+}
+
 std::vector<AtomicQueryPart> CaqpCache::Snapshot() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<AtomicQueryPart> out;
   out.reserve(live_);
   for (const Item& item : slots_) {

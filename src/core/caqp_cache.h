@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -16,19 +17,32 @@ namespace erq {
 /// The collection C_aqp (§2.2–2.3): an in-memory store of atomic query
 /// parts whose outputs are known to be empty on the current database.
 ///
-/// Thread safety: all public methods are internally synchronized with a
-/// single mutex — in an RDBMS many sessions consult C_aqp concurrently,
-/// and even lookups mutate state (clock reference bits, statistics).
-/// Callers owning higher-level state (EmptyResultManager's counters, the
-/// catalog) must synchronize that state themselves.
+/// Thread safety: the structure is read-mostly — in an RDBMS many sessions
+/// probe C_aqp for every high-cost query while inserts/invalidations are
+/// comparatively rare — so it is synchronized with a reader/writer lock.
+/// `CoveredBy` (and every other pure probe) takes only the shared side:
+/// concurrent lookups never serialize on each other and perform zero
+/// exclusive-lock acquisitions. The bookkeeping a lookup *does* mutate —
+/// clock reference bits, LRU sequence numbers, statistics counters — is
+/// held in relaxed atomics, which shared holders may update freely.
+/// `Insert`, `InvalidateRelation`, `DropIf`, and `Clear` take the
+/// exclusive side. Callers owning higher-level state (EmptyResultManager's
+/// counters, the catalog) must synchronize that state themselves.
 ///
 /// Organization follows the paper: one entry per relation-name set, each
 /// holding the list of selection conditions stored for that set. Entry
-/// search by set containment is accelerated with superimposed-coding
-/// signatures [31]. Capacity is bounded by N_max with clock replacement
-/// (reference bits set on coverage hits); redundancy is removed by keeping
-/// only the most general parts (covered parts are dropped on insert, and an
-/// insert that is itself covered is skipped).
+/// search by set containment is sub-linear: an inverted index maps each
+/// relation name to the entries mentioning it, so a lookup enumerates only
+/// entries that share a name with the probe (each candidate exactly once,
+/// via the posting list of its own first name) instead of scanning every
+/// entry; the superimposed-coding signatures [31] remain as a second-level
+/// filter before the exact subset test. Entries whose last stored part is
+/// removed are garbage-collected (index keys and entry slots are reclaimed
+/// through free lists), so churny invalidate/insert workloads cannot grow
+/// `entries_` without bound. Capacity is bounded by N_max with clock
+/// replacement (reference bits set on coverage hits); redundancy is
+/// removed by keeping only the most general parts (covered parts are
+/// dropped on insert, and an insert that is itself covered is skipped).
 class CaqpCache {
  public:
   struct CacheStats {
@@ -42,87 +56,198 @@ class CaqpCache {
                                    // general new part
     uint64_t evictions = 0;
     uint64_t invalidation_drops = 0;
+
+    // Index instrumentation (how a lookup narrowed its search), so
+    // Figure-7-style experiments can attribute speedups.
+    uint64_t postings_scanned = 0;   // posting-list elements touched
+                                     // (index fan-out)
+    uint64_t candidate_entries = 0;  // entries actually considered
+    uint64_t signature_rejects = 0;  // candidates the signature filter cut
+
+    // Gauges sampled when stats() is called.
+    uint64_t entries_live = 0;       // entries currently holding parts
+    uint64_t entries_allocated = 0;  // entry slots ever allocated (bounded
+                                     // by GC + free-list reuse)
+    uint64_t index_names = 0;        // distinct relation names indexed
   };
 
   explicit CaqpCache(size_t n_max,
                      EvictionPolicy policy = EvictionPolicy::kClock,
-                     bool enable_signatures = true)
-      : n_max_(n_max), policy_(policy), enable_signatures_(enable_signatures) {}
+                     bool enable_signatures = true, bool enable_index = true)
+      : n_max_(n_max),
+        policy_(policy),
+        enable_signatures_(enable_signatures),
+        enable_index_(enable_index) {}
 
   /// True if some stored atomic query part covers `aqp` — i.e. the output
   /// of `aqp` is provably empty (Theorem 2). Marks the covering part as
-  /// recently used.
-  bool CoveredBy(const AtomicQueryPart& aqp);
+  /// recently used. Takes only the shared lock: safe to call from any
+  /// number of sessions concurrently.
+  bool CoveredBy(const AtomicQueryPart& aqp) ERQ_EXCLUDES(mu_);
 
   /// Stores `aqp` (harvested from an empty-result query part), enforcing
   /// the redundancy and capacity rules above.
-  void Insert(const AtomicQueryPart& aqp);
+  void Insert(const AtomicQueryPart& aqp) ERQ_EXCLUDES(mu_);
 
   /// Number of stored atomic query parts.
-  size_t size() const {
-    MutexLock lock(&mu_);
+  size_t size() const ERQ_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
     return live_;
   }
   size_t n_max() const { return n_max_; }
 
-  void Clear();
+  void Clear() ERQ_EXCLUDES(mu_);
 
   /// Drops every stored part whose relation set mentions `base_name`
   /// (including renamed occurrences "base#k").
-  void InvalidateRelation(const std::string& base_name);
+  void InvalidateRelation(const std::string& base_name) ERQ_EXCLUDES(mu_);
 
   /// Drops every stored part for which `pred` returns true; returns the
   /// number dropped. Used by the irrelevant-update filter.
-  size_t DropIf(const std::function<bool(const AtomicQueryPart&)>& pred);
+  size_t DropIf(const std::function<bool(const AtomicQueryPart&)>& pred)
+      ERQ_EXCLUDES(mu_);
 
-  CacheStats stats() const {
-    MutexLock lock(&mu_);
-    return stats_;
-  }
-  void ResetStats() {
-    MutexLock lock(&mu_);
-    stats_ = CacheStats{};
-  }
+  /// Relaxed snapshot of the counters plus index gauges. Counters are
+  /// updated lock-free, so a snapshot taken while lookups are in flight is
+  /// approximate (each counter is individually accurate).
+  CacheStats stats() const ERQ_EXCLUDES(mu_);
+  void ResetStats();
+
+  /// Human-readable description of the cache internals: occupancy, index
+  /// shape (posting-list fan-out), and per-lookup work averages.
+  std::string Explain() const ERQ_EXCLUDES(mu_);
 
   /// Copies of all live parts (tests / debugging).
-  std::vector<AtomicQueryPart> Snapshot() const;
+  std::vector<AtomicQueryPart> Snapshot() const ERQ_EXCLUDES(mu_);
 
  private:
   struct Item {
     AtomicQueryPart aqp;
     bool alive = false;
-    bool ref = false;        // clock reference bit
     uint64_t inserted_seq = 0;  // FIFO age
-    uint64_t used_seq = 0;      // LRU age
     size_t entry_index = 0;
+    // Recency bookkeeping mutated by lookups under the *shared* lock:
+    // mutable relaxed atomics, so the reader path stays const. Plain
+    // members above are only written under the exclusive lock.
+    mutable std::atomic<bool> ref{false};        // clock reference bit
+    mutable std::atomic<uint64_t> used_seq{0};   // LRU age
+
+    Item() = default;
+    // slots_ only grows on the writer path (exclusive lock held), so
+    // moving items for vector growth never races with readers.
+    Item(Item&& other) noexcept
+        : aqp(std::move(other.aqp)),
+          alive(other.alive),
+          inserted_seq(other.inserted_seq),
+          entry_index(other.entry_index),
+          ref(other.ref.load(std::memory_order_relaxed)),
+          used_seq(other.used_seq.load(std::memory_order_relaxed)) {}
+    Item& operator=(Item&& other) noexcept {
+      aqp = std::move(other.aqp);
+      alive = other.alive;
+      inserted_seq = other.inserted_seq;
+      entry_index = other.entry_index;
+      ref.store(other.ref.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+      used_seq.store(other.used_seq.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   struct Entry {
+    bool alive = false;
     RelationSet relations;
     RelationSignature signature;
     std::vector<size_t> items;  // slot indices
   };
 
-  void EvictOne() ERQ_REQUIRES(mu_);
-  void RemoveItem(size_t slot) ERQ_REQUIRES(mu_);
-  size_t GetOrCreateEntry(const RelationSet& relations) ERQ_REQUIRES(mu_);
+  /// Per-lookup work tally, accumulated locally and flushed to the atomic
+  /// counters once per call (cheaper than per-candidate fetch_adds).
+  struct LookupWork {
+    uint64_t postings = 0;
+    uint64_t candidates = 0;
+    uint64_t signature_rejects = 0;
+    uint64_t conditions = 0;
+  };
 
-  mutable Mutex mu_;
+  /// Mirror of the counter half of CacheStats in relaxed atomics, so the
+  /// lookup path updates statistics without any lock.
+  struct AtomicCounters {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> conditions_scanned{0};
+    std::atomic<uint64_t> insert_attempts{0};
+    std::atomic<uint64_t> inserted{0};
+    std::atomic<uint64_t> skipped_covered{0};
+    std::atomic<uint64_t> removed_covered{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> invalidation_drops{0};
+    std::atomic<uint64_t> postings_scanned{0};
+    std::atomic<uint64_t> candidate_entries{0};
+    std::atomic<uint64_t> signature_rejects{0};
+  };
+
+  static constexpr size_t kNoEntry = static_cast<size_t>(-1);
+
+  /// Core subset search (stored set ⊆ probe set), shared-lock safe: finds
+  /// a stored part covering `aqp`, marks it recently used, and returns
+  /// true. Mutates only the mutable atomics.
+  bool FindCoveringLocked(const AtomicQueryPart& aqp,
+                          const RelationSignature& query_sig,
+                          LookupWork* work) const ERQ_REQUIRES_SHARED(mu_);
+  bool EntryCoversLocked(const Entry& entry, const AtomicQueryPart& aqp,
+                         const RelationSignature& query_sig,
+                         LookupWork* work) const ERQ_REQUIRES_SHARED(mu_);
+
+  /// Ids of entries whose relation set could be a superset of `relations`
+  /// (every superset entry posts under each of `relations`' names, so the
+  /// rarest name's posting list suffices). Copied out because the caller
+  /// mutates the index while processing.
+  std::vector<size_t> SupersetCandidatesLocked(
+      const RelationSet& relations) const ERQ_REQUIRES(mu_);
+
+  void EvictOneLocked() ERQ_REQUIRES(mu_);
+  void RemoveItemLocked(size_t slot) ERQ_REQUIRES(mu_);
+  /// Drops every item of entry `idx`, counting them as invalidations, then
+  /// garbage-collects the entry.
+  void DropEntryItemsLocked(size_t idx) ERQ_REQUIRES(mu_);
+  /// Unlinks a now-empty entry from entry_index_ and the inverted index
+  /// and recycles its slot.
+  void RemoveEntryLocked(size_t idx) ERQ_REQUIRES(mu_);
+  size_t GetOrCreateEntryLocked(const RelationSet& relations)
+      ERQ_REQUIRES(mu_);
+
+  mutable SharedMutex mu_;
 
   // Configuration, immutable after construction: safe to read unlocked.
   const size_t n_max_;
   const EvictionPolicy policy_;
   const bool enable_signatures_;
+  const bool enable_index_;
 
   std::vector<Item> slots_ ERQ_GUARDED_BY(mu_);
   std::vector<size_t> free_slots_ ERQ_GUARDED_BY(mu_);
   std::vector<Entry> entries_ ERQ_GUARDED_BY(mu_);
+  std::vector<size_t> free_entries_ ERQ_GUARDED_BY(mu_);
   std::unordered_map<std::string, size_t> entry_index_ ERQ_GUARDED_BY(mu_);
+
+  // Inverted index: relation name -> ids of live entries mentioning it.
+  // A stored set is a subset of a probe set only if all of its names — in
+  // particular its first one — appear among the probe's names, so walking
+  // the probe names' posting lists and keeping entries whose first name
+  // matches the posted name enumerates each candidate exactly once.
+  std::unordered_map<std::string, std::vector<size_t>> postings_
+      ERQ_GUARDED_BY(mu_);
+  // The (at most one) entry with an empty relation set posts nowhere but
+  // is a subset of everything, so it is tracked separately.
+  size_t empty_rel_entry_ ERQ_GUARDED_BY(mu_) = kNoEntry;
 
   size_t live_ ERQ_GUARDED_BY(mu_) = 0;
   size_t clock_hand_ ERQ_GUARDED_BY(mu_) = 0;
-  uint64_t seq_ ERQ_GUARDED_BY(mu_) = 0;
-  CacheStats stats_ ERQ_GUARDED_BY(mu_);
+  // Global recency clock, bumped by lookups on hits: lock-free.
+  mutable std::atomic<uint64_t> seq_{0};
+  mutable AtomicCounters counters_;
 };
 
 }  // namespace erq

@@ -40,6 +40,13 @@ struct EmptyResultConfig {
   /// set containment. Off only for the ablation bench.
   bool enable_signatures = true;
 
+  /// Use the inverted relation-name index when enumerating candidate
+  /// entries (sub-linear subset/superset search). Off only for the
+  /// ablation bench, where lookups fall back to scanning every entry —
+  /// the pre-index behavior. The index itself is always maintained, so
+  /// this knob isolates the lookup algorithm, not maintenance cost.
+  bool enable_index = true;
+
   /// Master switch; when false the manager always executes (baseline).
   bool detection_enabled = true;
 

@@ -35,7 +35,8 @@ class EmptyResultDetector {
  public:
   explicit EmptyResultDetector(const EmptyResultConfig& config)
       : config_(config),
-        cache_(config.n_max, config.eviction, config.enable_signatures) {}
+        cache_(config.n_max, config.eviction, config.enable_signatures,
+               config.enable_index) {}
 
   /// Decides whether the logical plan provably yields an empty result
   /// using only C_aqp (plus provable unsatisfiability of a part's

@@ -190,6 +190,150 @@ TEST(CaqpCacheTest, SnapshotReturnsLiveParts) {
   EXPECT_EQ(snap.size(), 2u);
 }
 
+TEST(CaqpCacheTest, IndexOffStillCorrect) {
+  CaqpCache cache(100, EvictionPolicy::kClock, /*enable_signatures=*/true,
+                  /*enable_index=*/false);
+  cache.Insert(Point("t", "x", 5));
+  cache.Insert(Range("u", "y", 0, 10));
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 5)));
+  EXPECT_TRUE(cache.CoveredBy(Point("u", "y", 3)));
+  EXPECT_FALSE(cache.CoveredBy(Point("v", "x", 5)));
+  // Redundancy rules still apply without the index.
+  cache.Insert(Range("t", "x", 0, 100));  // displaces the point on t
+  EXPECT_EQ(cache.stats().removed_covered, 1u);
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 5)));
+  cache.InvalidateRelation("t");
+  EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 5)));
+  EXPECT_TRUE(cache.CoveredBy(Point("u", "y", 3)));
+}
+
+// Regression for the dead-entry leak: InvalidateRelation/DropIf used to
+// empty entry.items but leave the Entry and its entry_index_ key behind
+// forever, so churny update workloads grew entries_ without bound.
+TEST(CaqpCacheTest, EntryGarbageCollectionBoundsGrowth) {
+  CaqpCache cache(1000);
+  for (int round = 0; round < 100; ++round) {
+    // Each round uses fresh relation names => fresh entries.
+    std::string rel = "t" + std::to_string(round);
+    std::string other = "u" + std::to_string(round);
+    cache.Insert(Point(rel.c_str(), "x", 1));
+    cache.Insert(Point(other.c_str(), "x", 1));
+    cache.InvalidateRelation(rel);
+    size_t dropped = cache.DropIf([&](const AtomicQueryPart& part) {
+      return part.relations().Contains(other);
+    });
+    EXPECT_EQ(dropped, 1u);
+    EXPECT_EQ(cache.size(), 0u);
+  }
+  CaqpCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries_live, 0u);
+  EXPECT_EQ(stats.index_names, 0u);
+  // Entry slots are recycled through the free list: allocation stays at
+  // the peak number of simultaneously live entries (2 per round here),
+  // not 200 (= 2 per round * 100 rounds).
+  EXPECT_LE(stats.entries_allocated, 2u);
+}
+
+TEST(CaqpCacheTest, EvictionReclaimsEmptyEntries) {
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kClock, EvictionPolicy::kLru, EvictionPolicy::kFifo}) {
+    SCOPED_TRACE(static_cast<int>(policy));
+    CaqpCache cache(4, policy);
+    // Four parts over four distinct relation sets: evicting a part must
+    // also reclaim its singleton entry.
+    for (int64_t i = 0; i < 4; ++i) {
+      cache.Insert(Point(("r" + std::to_string(i)).c_str(), "x", i));
+    }
+    EXPECT_EQ(cache.stats().entries_live, 4u);
+    for (int64_t i = 0; i < 8; ++i) {
+      cache.Insert(Point(("s" + std::to_string(i)).c_str(), "x", i));
+      EXPECT_EQ(cache.size(), 4u);
+      EXPECT_EQ(cache.stats().entries_live, 4u);
+    }
+    // Allocated entry slots were recycled, not accumulated.
+    EXPECT_LE(cache.stats().entries_allocated, 5u);
+  }
+}
+
+// Refilling to capacity after a broad invalidation exercises eviction
+// against a slot array that has been through invalidation churn (free-list
+// reuse, clock-hand wrap-around): the bounded sweep must terminate under
+// every policy.
+TEST(CaqpCacheTest, EvictionAfterMassInvalidationTerminates) {
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kClock, EvictionPolicy::kLru, EvictionPolicy::kFifo}) {
+    SCOPED_TRACE(static_cast<int>(policy));
+    CaqpCache cache(64, policy);
+    for (int64_t i = 0; i < 64; ++i) cache.Insert(Point("t", "x", i));
+    cache.InvalidateRelation("t");  // all 64 slots dead
+    EXPECT_EQ(cache.size(), 0u);
+    // Refill past capacity: evictions run against a slot array that starts
+    // all-dead and must not spin.
+    for (int64_t i = 0; i < 80; ++i) cache.Insert(Point("u", "x", i));
+    EXPECT_EQ(cache.size(), 64u);
+  }
+}
+
+TEST(CaqpCacheTest, IndexInstrumentationCountsWork) {
+  CaqpCache cache(100);
+  cache.Insert(Point("a", "x", 1));
+  cache.Insert(Point("b", "x", 1));
+  cache.Insert(Point("c", "x", 1));
+  cache.ResetStats();
+
+  // Probe on {a}: the index enumerates only a's posting list (1 element,
+  // 1 candidate entry), never touching b's or c's entries.
+  EXPECT_TRUE(cache.CoveredBy(Point("a", "x", 1)));
+  CaqpCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.postings_scanned, 1u);
+  EXPECT_EQ(stats.candidate_entries, 1u);
+  EXPECT_EQ(stats.conditions_scanned, 1u);
+
+  // Probe on a relation with no posting list: zero candidates.
+  cache.ResetStats();
+  EXPECT_FALSE(cache.CoveredBy(Point("zzz", "x", 1)));
+  stats = cache.stats();
+  EXPECT_EQ(stats.postings_scanned, 0u);
+  EXPECT_EQ(stats.candidate_entries, 0u);
+  EXPECT_EQ(stats.conditions_scanned, 0u);
+}
+
+TEST(CaqpCacheTest, SignatureRejectsAreCounted) {
+  // Signatures only filter within enumerated candidates, so build a probe
+  // whose name set overlaps a stored entry's without being a superset:
+  // entry {a, b} posts under "a"; probe {a, c} enumerates it, and either
+  // the signature filter or the exact subset test rejects it.
+  CaqpCache cache(100);
+  AtomicQueryPart ab(
+      RelationSet({"a", "b"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("a", "x"), ValueInterval::Point(Value::Int(1)))}));
+  cache.Insert(ab);
+  cache.ResetStats();
+  AtomicQueryPart ac(
+      RelationSet({"a", "c"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("a", "x"), ValueInterval::Point(Value::Int(1)))}));
+  EXPECT_FALSE(cache.CoveredBy(ac));
+  CaqpCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.candidate_entries, 1u);
+  // The candidate never reached a cover test.
+  EXPECT_EQ(stats.conditions_scanned, 0u);
+}
+
+TEST(CaqpCacheTest, ExplainDescribesInternals) {
+  CaqpCache cache(100);
+  cache.Insert(Point("orders", "k", 1));
+  cache.Insert(Point("lineitem", "k", 2));
+  cache.CoveredBy(Point("orders", "k", 1));
+  std::string text = cache.Explain();
+  EXPECT_NE(text.find("2/100 parts"), std::string::npos) << text;
+  EXPECT_NE(text.find("2 entries"), std::string::npos) << text;
+  EXPECT_NE(text.find("policy=clock"), std::string::npos) << text;
+  EXPECT_NE(text.find("index=on"), std::string::npos) << text;
+  EXPECT_NE(text.find("lookups=1 hits=1"), std::string::npos) << text;
+}
+
 // Paper §2.2 example: Q1 = sigma_{A.a=50 OR A.b=30}(A) and
 // Q2 = sigma_{A.a=60 OR A.b=40}(A) are stored as four atomic parts;
 // Q = sigma_{A.a=50 OR A.a=60}(A) is then detectable from P1 and P3.

@@ -168,6 +168,72 @@ TEST(ConcurrencyTest, EvictionChurnUnderContention) {
             static_cast<uint64_t>(kWriters) * kOpsPerThread);
 }
 
+// Lookup-heavy stress for the shared-lock read path: a wall of readers
+// hammers CoveredBy (shared acquisitions, relaxed clock-bit/LRU updates)
+// while two writers insert fresh parts and invalidate a disjoint relation.
+// Parts on "stable" are never invalidated or evicted (capacity is ample),
+// so every reader must find them throughout; parts on "churn" flap. Under
+// TSan the value is the absence of race reports between the const reader
+// path and the writer-side index/GC mutations.
+TEST(ConcurrencyTest, LookupHeavyReadersRaceInsertAndInvalidate) {
+  CaqpCache cache(100000);
+  const int64_t kStable = 300;
+  for (int64_t i = 0; i < kStable; ++i) cache.Insert(Point("stable", i));
+
+  const int kReaders = 6;
+  const int kLookupsPerReader = 20000;
+  std::atomic<int> readers_done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(500 + t);
+      for (int op = 0; op < kLookupsPerReader; ++op) {
+        int64_t id = static_cast<int64_t>(rng() % kStable);
+        ASSERT_TRUE(cache.CoveredBy(Point("stable", id)));
+        cache.CoveredBy(Point("churn", static_cast<int64_t>(rng() % 64)));
+      }
+      readers_done.fetch_add(1);
+    });
+  }
+  std::thread inserter([&] {
+    std::mt19937_64 rng(77);
+    while (readers_done.load() < kReaders) {
+      cache.Insert(Point("churn", static_cast<int64_t>(rng() % 64)));
+      // Fresh relation names force entry creation + GC churn in the
+      // inverted index while readers walk it.
+      std::string rel = "flux" + std::to_string(rng() % 16);
+      cache.Insert(AtomicQueryPart(
+          RelationSet({rel}),
+          Conjunction::Make({PrimitiveTerm::MakeInterval(
+              ColumnId::Make(rel, "x"),
+              ValueInterval::Point(Value::Int(static_cast<int64_t>(
+                  rng() % 8))))})));
+    }
+  });
+  std::thread invalidator([&] {
+    std::mt19937_64 rng(88);
+    while (readers_done.load() < kReaders) {
+      cache.InvalidateRelation("churn");
+      cache.InvalidateRelation("flux" + std::to_string(rng() % 16));
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  inserter.join();
+  invalidator.join();
+
+  CaqpCache::CacheStats stats = cache.stats();
+  EXPECT_GE(stats.lookups, static_cast<uint64_t>(kReaders) *
+                               kLookupsPerReader * 2);
+  EXPECT_GE(stats.hits, static_cast<uint64_t>(kReaders) * kLookupsPerReader);
+  // The stable entry plus at most the live churn/flux entries remain; GC
+  // keeps the entry table bounded despite thousands of invalidations.
+  EXPECT_LE(stats.entries_allocated, 32u);
+  for (int64_t i = 0; i < kStable; ++i) {
+    ASSERT_TRUE(cache.CoveredBy(Point("stable", i)));
+  }
+}
+
 TEST(ConcurrencyTest, MvCacheConcurrentRecordAndCheck) {
   testing::FixtureDb db;
   std::vector<LogicalOpPtr> plans;

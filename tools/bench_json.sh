@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Machine-readable C_aqp perf snapshot: runs the microbenchmarks and the
+# concurrent-throughput benchmarks and merges their google-benchmark JSON
+# into one document, so the perf trajectory is tracked PR over PR.
+#
+#   tools/bench_json.sh [build-dir] [output.json]
+#     build-dir    defaults to build (must contain bench/ binaries)
+#     output.json  defaults to BENCH_caqp.json in the repo root
+#
+#   BENCH_MIN_TIME=0.01 tools/bench_json.sh   # smoke mode (CI): just prove
+#                                             # the benches run and emit JSON
+#
+# The merged document holds one "benchmarks" array per binary plus the
+# google-benchmark context (host, caches, date) and the git revision.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_caqp.json}"
+
+ARGS=(--benchmark_out_format=json)
+if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+  ARGS+=("--benchmark_min_time=${BENCH_MIN_TIME}")
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for b in bench_concurrent bench_micro; do
+  bin="$BUILD/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build the bench targets first" >&2
+    exit 1
+  fi
+  echo "== $b =="
+  "$bin" "${ARGS[@]}" "--benchmark_out=$TMP/$b.json"
+done
+
+python3 - "$TMP" "$OUT" <<'PY'
+import json, os, subprocess, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+merged = {"context": {}, "benchmarks": {}}
+for name in sorted(os.listdir(tmp)):
+    with open(os.path.join(tmp, name)) as f:
+        doc = json.load(f)
+    if not merged["context"]:
+        merged["context"] = doc.get("context", {})
+    merged["benchmarks"][name[: -len(".json")]] = doc.get("benchmarks", [])
+
+rev = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip()
+if rev:
+    merged["context"]["git_revision"] = rev
+
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+PY

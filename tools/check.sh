@@ -7,6 +7,9 @@
 #   tools/check.sh tsan       # TSan build + `ctest -L concurrency` + unit run
 #   tools/check.sh tidy       # run-clang-tidy over compile_commands.json
 #   tools/check.sh clang      # clang build with -Werror=thread-safety
+#   tools/check.sh bench      # opt-in: build benches + regenerate
+#                             # BENCH_caqp.json via tools/bench_json.sh
+#                             # (not part of the default job set)
 #
 # Each job uses its own build tree (build-check-<job>) so flavors never
 # contaminate each other. Exits nonzero on the first regression. Jobs whose
@@ -93,8 +96,23 @@ run_tidy() {
   ok "tidy"
 }
 
+run_bench() {
+  # Opt-in perf snapshot: builds the bench targets and regenerates
+  # BENCH_caqp.json. Honors BENCH_MIN_TIME (e.g. 0.01 for a smoke run).
+  local dir="$ROOT/build-check-bench"
+  log "bench: configure"
+  cmake -B "$dir" -S "$ROOT" || { bad "bench (configure)"; return 1; }
+  log "bench: build"
+  cmake --build "$dir" -j "$JOBS" --target bench_concurrent bench_micro \
+    || { bad "bench (build)"; return 1; }
+  log "bench: tools/bench_json.sh"
+  tools/bench_json.sh "$dir" || { bad "bench (run)"; return 1; }
+  ok "bench"
+}
+
 main() {
   local jobs=("$@")
+  # bench is opt-in (perf snapshot, not a correctness gate).
   [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain asan tsan clang tidy)
   for job in "${jobs[@]}"; do
     case "$job" in
@@ -103,7 +121,8 @@ main() {
       tsan)  run_tsan ;;
       clang) run_clang ;;
       tidy)  run_tidy ;;
-      *) echo "unknown job: $job (want plain|asan|tsan|clang|tidy)" >&2
+      bench) run_bench ;;
+      *) echo "unknown job: $job (want plain|asan|tsan|clang|tidy|bench)" >&2
          exit 2 ;;
     esac
   done
