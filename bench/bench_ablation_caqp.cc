@@ -53,7 +53,7 @@ void EvictionAblation() {
       }
     }
     std::printf("%8s %11.1f%% %12llu\n", name, 100.0 * hits / total,
-                static_cast<unsigned long long>(cache.stats().evictions));
+                static_cast<unsigned long long>(cache.stats_snapshot().evictions));
   }
 }
 
@@ -109,13 +109,13 @@ void RedundancyAblation() {
   std::printf("parts before general insert: %zu, after: %zu "
               "(removed %llu redundant), point coverage preserved: %zu/100\n",
               before, after,
-              static_cast<unsigned long long>(cache.stats().removed_covered),
+              static_cast<unsigned long long>(cache.stats_snapshot().removed_covered),
               covered);
   // And duplicate inserts of covered parts are skipped outright.
   cache.Insert(PointPart("t", 5));
   std::printf("covered re-insert skipped: %llu skip(s) recorded, size "
               "still %zu\n",
-              static_cast<unsigned long long>(cache.stats().skipped_covered),
+              static_cast<unsigned long long>(cache.stats_snapshot().skipped_covered),
               cache.size());
 }
 

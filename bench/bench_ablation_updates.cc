@@ -91,7 +91,7 @@ ModeResult RunMode(InvalidationMode mode, uint64_t seed) {
     }
   }
   result.invalidation_drops =
-      manager.detector().cache().stats().invalidation_drops;
+      manager.detector().cache().stats_snapshot().invalidation_drops;
   return result;
 }
 

@@ -15,12 +15,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <random>
 #include <string>
 
+#include "common/metrics.h"
 #include "core/caqp_cache.h"
 
 using namespace erq;
@@ -173,4 +176,20 @@ BENCHMARK(BM_MixedInsertLookup)
     ->Threads(8)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus an observability hook: the C_aqp hot path mirrors
+// its counters into the process-wide MetricsRegistry, so
+// ERQ_METRICS_OUT=<path> captures this run's erq.caqp.* totals as an
+// erq.metrics.v1 document — the same schema metrics_dump emits and
+// tools/bench_json.sh embeds into BENCH_caqp.json.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* out = std::getenv("ERQ_METRICS_OUT")) {
+    std::ofstream f(out);
+    f << erq::MetricsRegistry::Global().ToJson();
+    if (!f) return 1;
+  }
+  return 0;
+}

@@ -49,10 +49,10 @@ Outcome RunStream(double c_cost, bool auto_tune, uint64_t seed) {
     }
     auto outcome = manager.Query(sql);
     if (!outcome.ok()) std::abort();
-    out.total_seconds += outcome->check_seconds + outcome->execute_seconds +
-                         outcome->record_seconds;
+    out.total_seconds += outcome->timings.check_seconds + outcome->timings.execute_seconds +
+                         outcome->timings.record_seconds;
     if (outcome->executed && !outcome->result_empty) {
-      out.wasted_check_seconds += outcome->check_seconds;
+      out.wasted_check_seconds += outcome->timings.check_seconds;
     }
     if (outcome->detected_empty) ++out.detected;
   }

@@ -74,7 +74,7 @@ int main() {
                 100.0 * static_cast<double>(hits) /
                     static_cast<double>(probes),
                 static_cast<unsigned long long>(
-                    detector.cache().stats().evictions),
+                    detector.cache().stats_snapshot().evictions),
                 detector.cache().size(),
                 lookup_seconds / probes * 1e6);
   }

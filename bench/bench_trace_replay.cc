@@ -35,11 +35,11 @@ int main() {
         std::fprintf(stderr, "replay failure on: %s\n", q.sql.c_str());
         return 1;
       }
-      check += outcome->check_seconds;
-      record += outcome->record_seconds;
-      exec += outcome->execute_seconds;
+      check += outcome->timings.check_seconds;
+      record += outcome->timings.record_seconds;
+      exec += outcome->timings.execute_seconds;
     }
-    const ManagerStats& ms = manager.stats();
+    const ManagerStats& ms = manager.stats_snapshot();
     std::printf("%8zu %10llu %10llu %9.2f%% %12.2f %12.2f %12.2f\n", total,
                 static_cast<unsigned long long>(ms.empty_results +
                                                 ms.detected_empty),

@@ -56,12 +56,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "emptiness mismatch on: %s\n", q.sql.c_str());
       return 1;
     }
-    check_seconds += outcome->check_seconds;
-    exec_seconds += outcome->execute_seconds;
-    record_seconds += outcome->record_seconds;
+    check_seconds += outcome->timings.check_seconds;
+    exec_seconds += outcome->timings.execute_seconds;
+    record_seconds += outcome->timings.record_seconds;
   }
 
-  const ManagerStats& ms = manager.stats();
+  const ManagerStats& ms = manager.stats_snapshot();
   std::printf("replay results\n");
   std::printf("  executed              : %llu\n",
               static_cast<unsigned long long>(ms.executed));

@@ -116,8 +116,8 @@ int main() {
           }
         }
       } else if (cmd == "\\stats") {
-        const ManagerStats& ms = manager.stats();
-        const CaqpCache::CacheStats& cs = manager.detector().cache().stats();
+        const ManagerStats& ms = manager.stats_snapshot();
+        const CaqpCache::CacheStats& cs = manager.detector().cache().stats_snapshot();
         std::printf("queries=%llu executed=%llu detected_empty=%llu "
                     "empty_results=%llu\n",
                     (unsigned long long)ms.queries,
@@ -184,22 +184,20 @@ int main() {
     } else if (outcome->detected_empty) {
       std::printf("(empty result — detected from C_aqp in %.1f us, "
                   "execution skipped)\n",
-                  outcome->check_seconds * 1e6);
+                  outcome->timings.check_seconds * 1e6);
     } else {
       if (outcome->result_empty) {
         std::printf("(empty result, executed in %.2f ms; %zu atomic "
                     "part(s) harvested)\n",
-                    outcome->execute_seconds * 1e3, outcome->aqps_recorded);
+                    outcome->timings.execute_seconds * 1e3, outcome->aqps_recorded);
       } else {
         PrintRows(outcome->result);
         std::printf("(%zu row(s) in %.2f ms)\n", outcome->result_rows,
-                    outcome->execute_seconds * 1e3);
+                    outcome->timings.execute_seconds * 1e3);
       }
-      auto plan = manager.Prepare(sql);
-      if (plan.ok()) {
-        // Re-run to refresh actuals on a plan object the shell keeps.
-        if (Executor::Run(*plan).ok()) last_plan = *plan;
-      }
+      // QueryOutcome carries the executed plan with actual= annotations;
+      // keep it for \plan and \why (no re-prepare/re-execute needed).
+      last_plan = outcome->plan;
     }
     std::printf("erq> ");
     std::fflush(stdout);

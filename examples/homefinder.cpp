@@ -90,14 +90,14 @@ int main() {
   slide("far-out center (now cached)",
         "distance between 50.0 and 60.0 and neighborhood = 'center'");
 
-  const ManagerStats& ms = manager.stats();
+  const ManagerStats& ms = manager.stats_snapshot();
   std::printf("\nsession: %llu gestures, %llu executed, %llu answered from "
               "C_aqp; %zu stored parts; tuned C_cost = %.1f\n",
               (unsigned long long)ms.queries,
               (unsigned long long)ms.executed,
               (unsigned long long)ms.detected_empty,
               manager.detector().cache().size(),
-              manager.cost_gate().Suggest(config.c_cost,
-                                          /*min_samples=*/5));
+              manager.cost_gate_snapshot().Suggest(config.c_cost,
+                                                   /*min_samples=*/5));
   return 0;
 }

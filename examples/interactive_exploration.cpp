@@ -23,8 +23,8 @@ void Show(const char* step, const QueryOutcome& outcome) {
                   : (outcome.result_empty
                          ? "EMPTY — discovered by executing"
                          : "rows returned"),
-              outcome.estimated_cost, outcome.check_seconds * 1e6,
-              outcome.execute_seconds * 1e3);
+              outcome.estimated_cost, outcome.timings.check_seconds * 1e6,
+              outcome.timings.execute_seconds * 1e3);
 }
 
 }  // namespace
@@ -105,7 +105,7 @@ int main() {
         "select count(*) from orders o, lineitem l "
         "where o.orderkey = l.orderkey and o.orderdate = DATE '" + date + "'");
 
-  const ManagerStats& ms = manager.stats();
+  const ManagerStats& ms = manager.stats_snapshot();
   std::printf(
       "\nsession summary: %llu queries, %llu executed, %llu answered from "
       "C_aqp (%zu stored parts)\n",

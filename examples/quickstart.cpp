@@ -71,8 +71,8 @@ int main() {
   const CaqpCache& cache = manager.detector().cache();
   std::printf("stored atomic query parts: %zu\n", cache.size());
   std::printf("lookups=%llu hits=%llu\n",
-              static_cast<unsigned long long>(cache.stats().lookups),
-              static_cast<unsigned long long>(cache.stats().hits));
+              static_cast<unsigned long long>(cache.stats_snapshot().lookups),
+              static_cast<unsigned long long>(cache.stats_snapshot().hits));
 
   std::printf("\n== updates invalidate stale knowledge ==\n");
   auto append = catalog.AppendRows(

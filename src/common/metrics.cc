@@ -1,0 +1,178 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace erq {
+
+namespace {
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+/// Shortest round-trippable representation of a double for JSON.
+std::string JsonNumber(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Metric names follow `erq.<module>.<name>` (no quotes/backslashes), but
+/// escape defensively so ToJson() is valid JSON for any registered name.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+double Histogram::UpperBound(size_t i) {
+  return 1e-6 * static_cast<double>(uint64_t{1} << i);
+}
+
+size_t Histogram::BucketIndex(double seconds) {
+  for (size_t i = 0; i < kNumFiniteBuckets; ++i) {
+    if (seconds <= UpperBound(i)) return i;
+  }
+  return kNumFiniteBuckets;  // +inf overflow
+}
+
+void Histogram::Observe(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // clamp negatives and NaN
+  count_.fetch_add(1, kRelaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9), kRelaxed);
+  buckets_[BucketIndex(seconds)].fetch_add(1, kRelaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot out;
+  out.count = count_.load(kRelaxed);
+  out.sum_seconds = static_cast<double>(sum_nanos_.load(kRelaxed)) * 1e-9;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(kRelaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  count_.store(0, kRelaxed);
+  sum_nanos_.store(0, kRelaxed);
+  for (auto& b : buckets_) b.store(0, kRelaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(&mu_);
+  std::string out = "{\n \"schema\": \"erq.metrics.v1\",\n \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  " + JsonString(name) + ": " + std::to_string(counter->Value());
+  }
+  out += first ? "},\n" : "\n },\n";
+  out += " \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  " + JsonString(name) + ": " + std::to_string(gauge->Value());
+  }
+  out += first ? "},\n" : "\n },\n";
+  out += " \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    Histogram::Snapshot snap = histogram->TakeSnapshot();
+    out += "  " + JsonString(name) + ": {\"count\": " +
+           std::to_string(snap.count) +
+           ", \"sum_seconds\": " + JsonNumber(snap.sum_seconds) +
+           ", \"buckets\": [";
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < Histogram::kNumFiniteBuckets
+                 ? JsonNumber(Histogram::UpperBound(i))
+                 : std::string("\"+inf\"");
+      out += ", \"count\": " + std::to_string(snap.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(&mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  for (const auto& [name, h] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace erq

@@ -5,13 +5,67 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace erq {
 
 namespace {
+
 constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+/// Global C_aqp instruments, resolved once (see metrics.h). These mirror
+/// the per-instance AtomicCounters into the process-wide registry,
+/// aggregating across every live cache; per-instance numbers remain
+/// available via stats_snapshot(). `erq.caqp.size` tracks live parts by
+/// delta (inserts minus removals; the dtor subtracts what remains).
+struct CaqpMetrics {
+  Counter* lookups;
+  Counter* hits;
+  Counter* misses;
+  Counter* conditions_scanned;
+  Counter* insert_attempts;
+  Counter* inserted;
+  Counter* skipped_covered;
+  Counter* removed_covered;
+  Counter* evictions;
+  Counter* invalidation_drops;
+  Counter* postings_scanned;
+  Counter* candidate_entries;
+  Counter* signature_rejects;
+  Gauge* size;
+
+  static const CaqpMetrics& Get() {
+    static const CaqpMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return CaqpMetrics{
+          r.GetCounter("erq.caqp.lookups"),
+          r.GetCounter("erq.caqp.hits"),
+          r.GetCounter("erq.caqp.misses"),
+          r.GetCounter("erq.caqp.conditions_scanned"),
+          r.GetCounter("erq.caqp.insert_attempts"),
+          r.GetCounter("erq.caqp.inserted"),
+          r.GetCounter("erq.caqp.skipped_covered"),
+          r.GetCounter("erq.caqp.removed_covered"),
+          r.GetCounter("erq.caqp.evictions"),
+          r.GetCounter("erq.caqp.invalidation_drops"),
+          r.GetCounter("erq.caqp.postings_scanned"),
+          r.GetCounter("erq.caqp.candidate_entries"),
+          r.GetCounter("erq.caqp.signature_rejects"),
+          r.GetGauge("erq.caqp.size"),
+      };
+    }();
+    return m;
+  }
+};
+
 }  // namespace
+
+CaqpCache::~CaqpCache() {
+  WriterMutexLock lock(&mu_);
+  CaqpMetrics::Get().size->Add(-static_cast<int64_t>(live_));
+  live_ = 0;
+}
 
 bool CaqpCache::CoveredBy(const AtomicQueryPart& aqp) {
   RelationSignature query_sig = RelationSignature::Of(aqp.relations());
@@ -29,6 +83,13 @@ bool CaqpCache::CoveredBy(const AtomicQueryPart& aqp) {
   counters_.signature_rejects.fetch_add(work.signature_rejects, kRelaxed);
   counters_.conditions_scanned.fetch_add(work.conditions, kRelaxed);
   if (hit) counters_.hits.fetch_add(1, kRelaxed);
+  const CaqpMetrics& global = CaqpMetrics::Get();
+  global.lookups->Increment();
+  global.postings_scanned->Increment(work.postings);
+  global.candidate_entries->Increment(work.candidates);
+  global.signature_rejects->Increment(work.signature_rejects);
+  global.conditions_scanned->Increment(work.conditions);
+  (hit ? global.hits : global.misses)->Increment();
   return hit;
 }
 
@@ -119,6 +180,7 @@ std::vector<size_t> CaqpCache::SupersetCandidatesLocked(
 
 void CaqpCache::Insert(const AtomicQueryPart& aqp) {
   counters_.insert_attempts.fetch_add(1, kRelaxed);
+  CaqpMetrics::Get().insert_attempts->Increment();
   if (n_max_ == 0) return;
   RelationSignature new_sig = RelationSignature::Of(aqp.relations());
   LookupWork scratch;  // insert-side searches are not lookup statistics
@@ -129,6 +191,7 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
   // (The covering part is marked recently used: it proved useful again.)
   if (FindCoveringLocked(aqp, new_sig, &scratch)) {
     counters_.skipped_covered.fetch_add(1, kRelaxed);
+    CaqpMetrics::Get().skipped_covered->Increment();
     return;
   }
 
@@ -151,6 +214,8 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
         free_slots_.push_back(slot);
         --live_;
         counters_.removed_covered.fetch_add(1, kRelaxed);
+        CaqpMetrics::Get().removed_covered->Increment();
+        CaqpMetrics::Get().size->Add(-1);
       } else {
         kept.push_back(slot);
       }
@@ -180,11 +245,14 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
   entries_[entry_idx].items.push_back(slot);
   ++live_;
   counters_.inserted.fetch_add(1, kRelaxed);
+  CaqpMetrics::Get().inserted->Increment();
+  CaqpMetrics::Get().size->Add(1);
 }
 
 void CaqpCache::EvictOneLocked() {
   if (live_ == 0 || slots_.empty()) return;
   counters_.evictions.fetch_add(1, kRelaxed);
+  CaqpMetrics::Get().evictions->Increment();
   switch (policy_) {
     case EvictionPolicy::kClock: {
       // Bounded two-pass sweep: the first full revolution may clear every
@@ -237,6 +305,8 @@ void CaqpCache::EvictOneLocked() {
   for (const Item& item : slots_) {
     if (item.alive) ++actual;
   }
+  CaqpMetrics::Get().size->Add(static_cast<int64_t>(actual) -
+                               static_cast<int64_t>(live_));
   live_ = actual;
 }
 
@@ -248,6 +318,7 @@ void CaqpCache::RemoveItemLocked(size_t slot) {
   item.aqp = AtomicQueryPart();  // release the condition's memory
   free_slots_.push_back(slot);
   --live_;
+  CaqpMetrics::Get().size->Add(-1);
   if (entry.items.empty()) RemoveEntryLocked(item.entry_index);
 }
 
@@ -260,6 +331,8 @@ void CaqpCache::DropEntryItemsLocked(size_t idx) {
     free_slots_.push_back(slot);
     --live_;
     counters_.invalidation_drops.fetch_add(1, kRelaxed);
+    CaqpMetrics::Get().invalidation_drops->Increment();
+    CaqpMetrics::Get().size->Add(-1);
   }
   entry.items.clear();
   RemoveEntryLocked(idx);
@@ -327,6 +400,7 @@ void CaqpCache::Clear() {
   entry_index_.clear();
   postings_.clear();
   empty_rel_entry_ = kNoEntry;
+  CaqpMetrics::Get().size->Add(-static_cast<int64_t>(live_));
   live_ = 0;
   clock_hand_ = 0;
 }
@@ -370,6 +444,8 @@ size_t CaqpCache::DropIf(
         --live_;
         ++dropped;
         counters_.invalidation_drops.fetch_add(1, kRelaxed);
+        CaqpMetrics::Get().invalidation_drops->Increment();
+        CaqpMetrics::Get().size->Add(-1);
       } else {
         kept.push_back(slot);
       }
@@ -380,7 +456,7 @@ size_t CaqpCache::DropIf(
   return dropped;
 }
 
-CaqpCache::CacheStats CaqpCache::stats() const {
+CaqpCache::CacheStats CaqpCache::stats_snapshot() const {
   CacheStats out;
   out.lookups = counters_.lookups.load(kRelaxed);
   out.hits = counters_.hits.load(kRelaxed);
@@ -435,7 +511,7 @@ std::string CaqpCache::Explain() const {
       }
     }
   }
-  CacheStats s = stats();
+  CacheStats s = stats_snapshot();
   const char* policy = policy_ == EvictionPolicy::kClock  ? "clock"
                        : policy_ == EvictionPolicy::kLru  ? "lru"
                                                           : "fifo";

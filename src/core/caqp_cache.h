@@ -64,7 +64,7 @@ class CaqpCache {
     uint64_t candidate_entries = 0;  // entries actually considered
     uint64_t signature_rejects = 0;  // candidates the signature filter cut
 
-    // Gauges sampled when stats() is called.
+    // Gauges sampled when stats_snapshot() is called.
     uint64_t entries_live = 0;       // entries currently holding parts
     uint64_t entries_allocated = 0;  // entry slots ever allocated (bounded
                                      // by GC + free-list reuse)
@@ -78,6 +78,10 @@ class CaqpCache {
         policy_(policy),
         enable_signatures_(enable_signatures),
         enable_index_(enable_index) {}
+
+  /// Reconciles the global `erq.caqp.size` gauge (this instance's live
+  /// parts are subtracted from the process-wide aggregate).
+  ~CaqpCache();
 
   /// True if some stored atomic query part covers `aqp` — i.e. the output
   /// of `aqp` is provably empty (Theorem 2). Marks the covering part as
@@ -107,10 +111,12 @@ class CaqpCache {
   size_t DropIf(const std::function<bool(const AtomicQueryPart&)>& pred)
       ERQ_EXCLUDES(mu_);
 
-  /// Relaxed snapshot of the counters plus index gauges. Counters are
-  /// updated lock-free, so a snapshot taken while lookups are in flight is
-  /// approximate (each counter is individually accurate).
-  CacheStats stats() const ERQ_EXCLUDES(mu_);
+  /// Relaxed value-type snapshot of the counters plus index gauges — never
+  /// a live reference. Counters are updated lock-free, so a snapshot taken
+  /// while lookups are in flight is approximate (each counter is
+  /// individually accurate). The same counters are mirrored, aggregated
+  /// across instances, into MetricsRegistry::Global() as `erq.caqp.*`.
+  CacheStats stats_snapshot() const ERQ_EXCLUDES(mu_);
   void ResetStats();
 
   /// Human-readable description of the cache internals: occupancy, index

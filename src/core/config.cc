@@ -1,0 +1,49 @@
+#include "core/config.h"
+
+#include <cmath>
+
+namespace erq {
+
+Status EmptyResultConfig::Validate() const {
+  if (n_max == 0) {
+    return Status::InvalidArgument(
+        "EmptyResultConfig.n_max must be positive: a zero-capacity C_aqp "
+        "can never store an atomic query part (disable detection via "
+        "detection_enabled=false instead)");
+  }
+  if (std::isnan(c_cost) || std::isinf(c_cost)) {
+    return Status::InvalidArgument(
+        "EmptyResultConfig.c_cost must be finite");
+  }
+  if (c_cost < 0.0) {
+    return Status::InvalidArgument(
+        "EmptyResultConfig.c_cost must be non-negative (0 checks every "
+        "query)");
+  }
+  if (dnf.max_terms == 0) {
+    return Status::InvalidArgument(
+        "EmptyResultConfig.dnf.max_terms must be positive: every "
+        "decomposition would be rejected as a DNF blow-up");
+  }
+  switch (eviction) {
+    case EvictionPolicy::kClock:
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EmptyResultConfig.eviction is not a known EvictionPolicy");
+  }
+  switch (invalidation) {
+    case InvalidationMode::kDropAll:
+    case InvalidationMode::kDropTouched:
+    case InvalidationMode::kFilterIrrelevant:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EmptyResultConfig.invalidation is not a known InvalidationMode");
+  }
+  return Status::OK();
+}
+
+}  // namespace erq

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 
+#include "common/status.h"
 #include "expr/dnf.h"
 
 namespace erq {
@@ -58,6 +59,13 @@ struct EmptyResultConfig {
   /// Record empty results of low-cost queries too (paper says don't; knob
   /// for experiments).
   bool record_low_cost = false;
+
+  /// Rejects configurations the pipeline cannot run meaningfully (zero
+  /// n_max, negative/non-finite c_cost, zero DNF term budget, enum values
+  /// outside their range). EmptyResultManager calls this in its ctor and
+  /// surfaces the Status from every entry point, so a mis-configured
+  /// manager fails loudly instead of silently misbehaving.
+  Status Validate() const;
 };
 
 }  // namespace erq

@@ -1,11 +1,50 @@
 #include "core/cost_gate.h"
 
+#include "common/metrics.h"
+
 namespace erq {
+
+namespace {
+
+/// Gate instruments, resolved once (see metrics.h: pointers are stable).
+struct GateMetrics {
+  Counter* observed_executed;
+  Counter* observed_detected;
+
+  static const GateMetrics& Get() {
+    static const GateMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return GateMetrics{
+          r.GetCounter("erq.gate.observed_executed"),
+          r.GetCounter("erq.gate.observed_detected"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+double CostGateSnapshot::Suggest(double fallback, uint64_t min_samples) const {
+  if (samples() < min_samples || executed == 0) return fallback;
+  if (alpha_seconds_per_cost_unit <= 0.0 || average_check_seconds <= 0.0) {
+    return fallback;
+  }
+  double p_save = empty_fraction * hit_fraction;
+  if (p_save <= 0.0) {
+    // Nothing has ever been saved: checks are pure overhead so far, but a
+    // cold cache also yields p_hit = 0. Be conservative and gate only the
+    // cheapest decile of observed costs.
+    p_save = 0.01;
+  }
+  return average_check_seconds / (alpha_seconds_per_cost_unit * p_save);
+}
 
 void AdaptiveCostGate::ObserveExecuted(double estimated_cost,
                                        double check_seconds,
                                        double execute_seconds,
                                        bool was_empty) {
+  GateMetrics::Get().observed_executed->Increment();
   ++executed_;
   if (was_empty) ++empty_results_;
   if (check_seconds > 0.0) {
@@ -21,6 +60,7 @@ void AdaptiveCostGate::ObserveExecuted(double estimated_cost,
 void AdaptiveCostGate::ObserveDetected(double estimated_cost,
                                        double check_seconds) {
   (void)estimated_cost;
+  GateMetrics::Get().observed_detected->Increment();
   ++detected_;
   ++checks_;
   check_seconds_sum_ += check_seconds;
@@ -47,20 +87,21 @@ double AdaptiveCostGate::HitFraction() const {
   return static_cast<double>(detected_) / static_cast<double>(empties);
 }
 
-double AdaptiveCostGate::Suggest(double fallback,
-                                 uint64_t min_samples) const {
-  if (samples() < min_samples || executed_ == 0) return fallback;
-  double alpha = AlphaSecondsPerCostUnit();
-  double check = AverageCheckSeconds();
-  double p_save = EmptyFraction() * HitFraction();
-  if (alpha <= 0.0 || check <= 0.0) return fallback;
-  if (p_save <= 0.0) {
-    // Nothing has ever been saved: checks are pure overhead so far, but a
-    // cold cache also yields p_hit = 0. Be conservative and gate only the
-    // cheapest decile of observed costs.
-    p_save = 0.01;
-  }
-  return check / (alpha * p_save);
+CostGateSnapshot AdaptiveCostGate::Snapshot() const {
+  CostGateSnapshot snap;
+  snap.executed = executed_;
+  snap.detected = detected_;
+  snap.empty_results = empty_results_;
+  snap.checks = checks_;
+  snap.average_check_seconds = AverageCheckSeconds();
+  snap.alpha_seconds_per_cost_unit = AlphaSecondsPerCostUnit();
+  snap.empty_fraction = EmptyFraction();
+  snap.hit_fraction = HitFraction();
+  return snap;
+}
+
+double AdaptiveCostGate::Suggest(double fallback, uint64_t min_samples) const {
+  return Snapshot().Suggest(fallback, min_samples);
 }
 
 }  // namespace erq

@@ -5,6 +5,32 @@
 
 namespace erq {
 
+/// Value-type snapshot of the adaptive C_cost model at one instant. This
+/// is what accessors hand out (EmptyResultManager::cost_gate_snapshot()):
+/// a plain struct of fitted components, deliberately not a reference to
+/// the live gate, so the API cannot imply that reads observe later
+/// updates. Suggest() re-evaluates the break-even formula on the frozen
+/// components.
+struct CostGateSnapshot {
+  uint64_t executed = 0;       // observed executed queries
+  uint64_t detected = 0;       // observed detection hits
+  uint64_t empty_results = 0;  // executed queries that came back empty
+  uint64_t checks = 0;         // queries that paid a C_aqp check
+
+  double average_check_seconds = 0.0;
+  double alpha_seconds_per_cost_unit = 0.0;  // exec_time(c) ~ alpha * c
+  double empty_fraction = 0.0;
+  double hit_fraction = 0.0;  // detections / (detections + empty results)
+
+  uint64_t samples() const { return executed + detected; }
+
+  /// The break-even C_cost estimate
+  ///     C* = check_cost / (alpha * p_empty * p_hit)
+  /// frozen at snapshot time. Returns `fallback` until at least
+  /// `min_samples` observations (and at least one executed query) exist.
+  double Suggest(double fallback = 0.0, uint64_t min_samples = 50) const;
+};
+
 /// §2.2 leaves C_cost as "an empirical number [whose] value can be decided
 /// based on past statistics: how expensive it is to use the information
 /// stored in C_aqp to check whether a query will return an empty result
@@ -21,8 +47,8 @@ namespace erq {
 ///     C* = check_cost / (alpha * p_empty * p_hit)
 ///
 /// Below C* the expected saving does not pay for the check. The gate keeps
-/// running sums, so Suggest() is O(1) and can be consulted any time;
-/// callers decide when (or whether) to adopt the suggestion.
+/// running sums, so Snapshot() and Suggest() are O(1) and can be consulted
+/// any time; callers decide when (or whether) to adopt the suggestion.
 class AdaptiveCostGate {
  public:
   /// Records a query that was checked and/or executed. `estimated_cost`
@@ -37,8 +63,10 @@ class AdaptiveCostGate {
   /// Number of observations so far.
   uint64_t samples() const { return executed_ + detected_; }
 
-  /// The break-even C_cost estimate. Returns `fallback` until at least
-  /// `min_samples` observations (and at least one executed query) exist.
+  /// Consistent value copy of the fitted model.
+  CostGateSnapshot Snapshot() const;
+
+  /// Shorthand for Snapshot().Suggest(...).
   double Suggest(double fallback = 0.0, uint64_t min_samples = 50) const;
 
   // --- Fitted components (exposed for tests / introspection) ---
@@ -59,4 +87,3 @@ class AdaptiveCostGate {
 };
 
 }  // namespace erq
-

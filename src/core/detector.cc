@@ -1,10 +1,49 @@
 #include "core/detector.h"
 
+#include "common/metrics.h"
 #include "core/update_filter.h"
 
 namespace erq {
 
+namespace {
+
+/// Detector instruments, resolved once (see metrics.h). Counted at the
+/// public entry points only, so recursion and PrunePlan's internal probes
+/// don't inflate the per-query numbers.
+struct DetectorMetrics {
+  Counter* checks;
+  Counter* parts_checked;
+  Counter* provably_empty;
+  Counter* record_calls;
+  Counter* parts_recorded;
+
+  static const DetectorMetrics& Get() {
+    static const DetectorMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return DetectorMetrics{
+          r.GetCounter("erq.detector.checks"),
+          r.GetCounter("erq.detector.parts_checked"),
+          r.GetCounter("erq.detector.provably_empty"),
+          r.GetCounter("erq.detector.record_calls"),
+          r.GetCounter("erq.detector.parts_recorded"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 CheckResult EmptyResultDetector::CheckEmpty(const LogicalOpPtr& root) {
+  CheckResult result = CheckEmptyImpl(root);
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  metrics.checks->Increment();
+  metrics.parts_checked->Increment(result.parts_checked);
+  if (result.provably_empty) metrics.provably_empty->Increment();
+  return result;
+}
+
+CheckResult EmptyResultDetector::CheckEmptyImpl(const LogicalOpPtr& root) {
   CheckResult result;
   if (root == nullptr) return result;
   switch (root->kind) {
@@ -12,32 +51,32 @@ CheckResult EmptyResultDetector::CheckEmpty(const LogicalOpPtr& root) {
     case LogicalOpKind::kSort:
     case LogicalOpKind::kDistinct:
       // No influence on emptiness.
-      return CheckEmpty(root->children[0]);
+      return CheckEmptyImpl(root->children[0]);
     case LogicalOpKind::kAggregate:
       // §2.5(1): a grouped aggregate is empty iff its input is; a scalar
       // aggregate always emits one row (count(∅)=0), so it is never empty.
       if (root->group_by.empty()) return result;
-      return CheckEmpty(root->children[0]);
+      return CheckEmptyImpl(root->children[0]);
     case LogicalOpKind::kUnion: {
       // §2.5(2): empty iff both branches are provably empty.
-      CheckResult left = CheckEmpty(root->children[0]);
+      CheckResult left = CheckEmptyImpl(root->children[0]);
       result.parts_checked += left.parts_checked;
       if (!left.provably_empty) return result;
-      CheckResult right = CheckEmpty(root->children[1]);
+      CheckResult right = CheckEmptyImpl(root->children[1]);
       result.parts_checked += right.parts_checked;
       result.provably_empty = right.provably_empty;
       return result;
     }
     case LogicalOpKind::kExcept: {
       // §2.5(4): empty if the left branch is provably empty.
-      CheckResult left = CheckEmpty(root->children[0]);
+      CheckResult left = CheckEmptyImpl(root->children[0]);
       result.parts_checked += left.parts_checked;
       result.provably_empty = left.provably_empty;
       return result;
     }
     case LogicalOpKind::kOuterJoin: {
       // §2.5(3): a left outer join is empty iff its left input is.
-      CheckResult left = CheckEmpty(root->children[0]);
+      CheckResult left = CheckEmptyImpl(root->children[0]);
       result.parts_checked += left.parts_checked;
       result.provably_empty = left.provably_empty;
       return result;
@@ -74,6 +113,9 @@ size_t EmptyResultDetector::RecordEmpty(const PhysOpPtr& executed_root) {
       ++inserted;
     }
   }
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  metrics.record_calls->Increment();
+  metrics.parts_recorded->Increment(inserted);
   return inserted;
 }
 
@@ -84,8 +126,8 @@ LogicalOpPtr EmptyResultDetector::PrunePlan(const LogicalOpPtr& root,
     case LogicalOpKind::kUnion: {
       LogicalOpPtr left = PrunePlan(root->children[0], pruned);
       LogicalOpPtr right = PrunePlan(root->children[1], pruned);
-      bool left_empty = CheckEmpty(left).provably_empty;
-      bool right_empty = CheckEmpty(right).provably_empty;
+      bool left_empty = CheckEmptyImpl(left).provably_empty;
+      bool right_empty = CheckEmptyImpl(right).provably_empty;
       if (left_empty && right_empty) {
         // Fully detected; keep the (cheap) structure — the caller's
         // CheckEmpty will skip execution entirely.
@@ -106,7 +148,7 @@ LogicalOpPtr EmptyResultDetector::PrunePlan(const LogicalOpPtr& root,
     case LogicalOpKind::kExcept: {
       LogicalOpPtr left = PrunePlan(root->children[0], pruned);
       const LogicalOpPtr& right = root->children[1];
-      if (CheckEmpty(right).provably_empty) {
+      if (CheckEmptyImpl(right).provably_empty) {
         if (pruned != nullptr) ++*pruned;
         // EXCEPT (without ALL) deduplicates its output.
         return root->all ? left : LogicalOperator::Distinct(std::move(left));

@@ -76,6 +76,10 @@ class EmptyResultDetector {
   void OnRelationDeleted(const std::string& table_name);
 
  private:
+  /// Recursive body of CheckEmpty; the public wrapper adds metrics so
+  /// sub-checks (recursion, PrunePlan probes) don't inflate the counters.
+  CheckResult CheckEmptyImpl(const LogicalOpPtr& root);
+
   const EmptyResultConfig config_;  // immutable: safe to read unlocked
   CaqpCache cache_;                 // internally synchronized
 };

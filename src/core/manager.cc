@@ -1,18 +1,90 @@
 #include "core/manager.h"
 
-#include <chrono>
+#include <cstdio>
 
 namespace erq {
 
 namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
 }
 
 }  // namespace
+
+std::string QueryOutcome::Timings::ToString() const {
+  std::string out = "parse=" + FormatSeconds(parse_seconds);
+  out += " plan=" + FormatSeconds(plan_seconds);
+  out += " optimize=" + FormatSeconds(optimize_seconds);
+  out += " gate=" + FormatSeconds(gate_seconds);
+  out += " check=" + FormatSeconds(check_seconds);
+  out += " execute=" + FormatSeconds(execute_seconds);
+  out += " record=" + FormatSeconds(record_seconds);
+  out += " total=" + FormatSeconds(total_seconds);
+  return out;
+}
+
+std::string QueryOutcome::ToString() const {
+  char buf[160];
+  std::string out;
+  if (detected_empty) {
+    std::snprintf(buf, sizeof(buf),
+                  "detected empty via C_aqp (estimated cost %.1f, execution "
+                  "skipped)",
+                  estimated_cost);
+  } else if (executed) {
+    std::snprintf(buf, sizeof(buf),
+                  "executed: %zu row%s (estimated cost %.1f%s)", result_rows,
+                  result_rows == 1 ? "" : "s", estimated_cost,
+                  high_cost ? ", high-cost" : "");
+  } else {
+    std::snprintf(buf, sizeof(buf), "not executed (estimated cost %.1f)",
+                  estimated_cost);
+  }
+  out += buf;
+  if (branches_pruned > 0) {
+    std::snprintf(buf, sizeof(buf), "; %zu set-op branch(es) pruned",
+                  branches_pruned);
+    out += buf;
+  }
+  if (aqps_recorded > 0) {
+    std::snprintf(buf, sizeof(buf), "; %zu atomic query part(s) recorded",
+                  aqps_recorded);
+    out += buf;
+  }
+  out += "\ntimings: " + timings.ToString();
+  if (plan != nullptr) {
+    out += "\n" + plan->ToString();
+  }
+  if (explanation.has_value()) {
+    out += "\n" + explanation->ToString();
+  }
+  return out;
+}
+
+EmptyResultManager::Instruments EmptyResultManager::ResolveInstruments() {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Instruments m;
+  m.stage_parse = r.GetHistogram("erq.manager.stage.parse");
+  m.stage_plan = r.GetHistogram("erq.manager.stage.plan");
+  m.stage_optimize = r.GetHistogram("erq.manager.stage.optimize");
+  m.stage_gate = r.GetHistogram("erq.manager.stage.gate");
+  m.stage_check = r.GetHistogram("erq.manager.stage.check");
+  m.stage_execute = r.GetHistogram("erq.manager.stage.execute");
+  m.stage_record = r.GetHistogram("erq.manager.stage.record");
+  m.query_total = r.GetHistogram("erq.manager.query_total");
+  m.queries = r.GetCounter("erq.manager.queries");
+  m.low_cost = r.GetCounter("erq.manager.low_cost");
+  m.checks = r.GetCounter("erq.manager.checks");
+  m.detected_empty = r.GetCounter("erq.manager.detected_empty");
+  m.executed = r.GetCounter("erq.manager.executed");
+  m.empty_results = r.GetCounter("erq.manager.empty_results");
+  m.recorded = r.GetCounter("erq.manager.recorded");
+  m.branches_pruned = r.GetCounter("erq.manager.branches_pruned");
+  return m;
+}
 
 EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
                                        EmptyResultConfig config,
@@ -20,9 +92,12 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
     : catalog_(catalog),
       stats_catalog_(stats),
       config_(config),
+      init_status_(config.Validate()),
       planner_(catalog),
       optimizer_(catalog, stats, optimizer_options),
-      detector_(config) {
+      detector_(config),
+      metrics_(ResolveInstruments()) {
+  if (!init_status_.ok()) return;  // unusable: don't hook catalog events
   catalog_->AddEventListener([this](const TableUpdateEvent& event) {
     if (stats_catalog_ != nullptr) stats_catalog_->Invalidate(event.table_name);
     switch (event.kind) {
@@ -49,11 +124,21 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
 }
 
 StatusOr<QueryOutcome> EmptyResultManager::Query(const std::string& sql) {
-  ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parser::Parse(sql));
-  return QueryStatement(*stmt);
+  ERQ_RETURN_IF_ERROR(init_status_);
+  double parse_seconds = 0.0;
+  std::unique_ptr<Statement> stmt;
+  {
+    ScopedSpan span(metrics_.stage_parse, &parse_seconds);
+    ERQ_ASSIGN_OR_RETURN(stmt, Parser::Parse(sql));
+  }
+  ERQ_ASSIGN_OR_RETURN(QueryOutcome outcome, QueryStatement(*stmt));
+  outcome.timings.parse_seconds = parse_seconds;
+  outcome.timings.total_seconds += parse_seconds;
+  return outcome;
 }
 
 StatusOr<PhysOpPtr> EmptyResultManager::Prepare(const std::string& sql) {
+  ERQ_RETURN_IF_ERROR(init_status_);
   ERQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parser::Parse(sql));
   ERQ_ASSIGN_OR_RETURN(PlannedQuery planned, planner_.PlanStatement(*stmt));
   return optimizer_.Optimize(planned.root);
@@ -61,37 +146,68 @@ StatusOr<PhysOpPtr> EmptyResultManager::Prepare(const std::string& sql) {
 
 StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
     const Statement& stmt) {
+  ERQ_RETURN_IF_ERROR(init_status_);
+  Timer total_timer;
+  metrics_.queries->Increment();
   {
     MutexLock lock(&mu_);
     ++stats_.queries;
   }
   QueryOutcome outcome;
 
-  ERQ_ASSIGN_OR_RETURN(PlannedQuery planned, planner_.PlanStatement(stmt));
-  ERQ_ASSIGN_OR_RETURN(PhysOpPtr physical, optimizer_.Optimize(planned.root));
+  PlannedQuery planned;
+  {
+    ScopedSpan span(metrics_.stage_plan, &outcome.timings.plan_seconds);
+    ERQ_ASSIGN_OR_RETURN(planned, planner_.PlanStatement(stmt));
+  }
+  PhysOpPtr physical;
+  {
+    ScopedSpan span(metrics_.stage_optimize,
+                    &outcome.timings.optimize_seconds);
+    ERQ_ASSIGN_OR_RETURN(physical, optimizer_.Optimize(planned.root));
+  }
   outcome.estimated_cost = physical->estimated_cost;
-  outcome.high_cost = outcome.estimated_cost > EffectiveCostThreshold();
+  {
+    ScopedSpan span(metrics_.stage_gate, &outcome.timings.gate_seconds);
+    outcome.high_cost = outcome.estimated_cost > EffectiveCostThreshold();
+  }
   if (!outcome.high_cost) {
+    metrics_.low_cost->Increment();
     MutexLock lock(&mu_);
     ++stats_.low_cost;
   }
 
   // §2.2: only high-cost queries are worth checking against C_aqp.
   if (config_.detection_enabled && outcome.high_cost) {
-    auto start = std::chrono::steady_clock::now();
-    CheckResult check = detector_.CheckEmpty(planned.root);
-    outcome.check_seconds = SecondsSince(start);
+    CheckResult check;
+    {
+      ScopedSpan span(metrics_.stage_check, &outcome.timings.check_seconds);
+      check = detector_.CheckEmpty(planned.root);
+    }
+    metrics_.checks->Increment();
     MutexLock lock(&mu_);
     ++stats_.checks;
     if (check.provably_empty) {
       outcome.detected_empty = true;
       outcome.result_empty = true;
       outcome.result.layout = physical->layout;
-      outcome.plan_text = physical->ToString();
+      outcome.plan = physical;
+      EmptyResultExplanation explanation;
+      explanation.annotated_plan = physical->ToString();
+      char cause[128];
+      std::snprintf(cause, sizeof(cause),
+                    "proven empty from C_aqp without execution (%zu atomic "
+                    "query part(s) checked)",
+                    check.parts_checked);
+      explanation.minimal_causes.push_back(cause);
+      outcome.explanation = std::move(explanation);
+      metrics_.detected_empty->Increment();
       ++stats_.detected_empty;
       stats_.execute_seconds_saved_estimate += outcome.estimated_cost;
       cost_gate_.ObserveDetected(outcome.estimated_cost,
-                                 outcome.check_seconds);
+                                 outcome.timings.check_seconds);
+      outcome.timings.total_seconds = total_timer.Seconds();
+      metrics_.query_total->Observe(outcome.timings.total_seconds);
       return outcome;
     }
   }
@@ -99,49 +215,65 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
   if (config_.detection_enabled && outcome.high_cost) {
     // §2.5 partial detection: branches of set operations that are provably
     // empty need not be evaluated.
-    auto start = std::chrono::steady_clock::now();
-    LogicalOpPtr pruned =
-        detector_.PrunePlan(planned.root, &outcome.branches_pruned);
-    outcome.check_seconds += SecondsSince(start);
+    LogicalOpPtr pruned;
+    {
+      ScopedSpan span(metrics_.stage_check, &outcome.timings.check_seconds);
+      pruned = detector_.PrunePlan(planned.root, &outcome.branches_pruned);
+    }
     if (outcome.branches_pruned > 0) {
+      metrics_.branches_pruned->Increment(outcome.branches_pruned);
       {
         MutexLock lock(&mu_);
         stats_.branches_pruned += outcome.branches_pruned;
       }
+      ScopedSpan span(metrics_.stage_optimize,
+                      &outcome.timings.optimize_seconds);
       ERQ_ASSIGN_OR_RETURN(physical, optimizer_.Optimize(pruned));
     }
   }
 
   {
-    auto start = std::chrono::steady_clock::now();
+    ScopedSpan span(metrics_.stage_execute, &outcome.timings.execute_seconds);
     ERQ_ASSIGN_OR_RETURN(outcome.result, Executor::Run(physical));
-    outcome.execute_seconds = SecondsSince(start);
   }
   outcome.executed = true;
   outcome.result_rows = outcome.result.rows.size();
   outcome.result_empty = outcome.result.rows.empty();
   // Operation O1: the plan, with per-operator output cardinalities, is
   // surfaced to the user to explain the (possibly empty) result.
-  outcome.plan_text = physical->ToString();
+  outcome.plan = physical;
+  metrics_.executed->Increment();
+  if (outcome.result_empty) metrics_.empty_results->Increment();
 
   {
     MutexLock lock(&mu_);
     ++stats_.executed;
-    cost_gate_.ObserveExecuted(outcome.estimated_cost, outcome.check_seconds,
-                               outcome.execute_seconds, outcome.result_empty);
+    cost_gate_.ObserveExecuted(outcome.estimated_cost,
+                               outcome.timings.check_seconds,
+                               outcome.timings.execute_seconds,
+                               outcome.result_empty);
     if (outcome.result_empty) ++stats_.empty_results;
+  }
+
+  if (outcome.result_empty) {
+    auto explanation = ExplainEmptyResult(physical);
+    if (explanation.ok()) outcome.explanation = *std::move(explanation);
   }
 
   if (outcome.result_empty && config_.detection_enabled &&
       (outcome.high_cost || config_.record_low_cost)) {
-    auto start = std::chrono::steady_clock::now();
-    outcome.aqps_recorded = detector_.RecordEmpty(physical);
-    outcome.record_seconds = SecondsSince(start);
+    {
+      ScopedSpan span(metrics_.stage_record, &outcome.timings.record_seconds);
+      outcome.aqps_recorded = detector_.RecordEmpty(physical);
+    }
     if (outcome.aqps_recorded > 0) {
+      metrics_.recorded->Increment();
       MutexLock lock(&mu_);
       ++stats_.recorded;
     }
   }
+  outcome.timings.total_seconds = total_timer.Seconds();
+  metrics_.query_total->Observe(outcome.timings.total_seconds);
   return outcome;
 }
 

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
 #include "core/cost_gate.h"
 #include "core/detector.h"
+#include "core/explain.h"
 #include "exec/executor.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
@@ -16,7 +19,38 @@
 namespace erq {
 
 /// Result of submitting one query through the managed workflow.
+///
+/// Structured API: stage timings live in `timings` (one field per pipeline
+/// span, mirroring the `erq.manager.stage.*` histograms), the executed or
+/// detected plan is exposed as the plan object itself (`plan`), and empty
+/// results carry a structured `explanation` (Operation O1). ToString()
+/// renders the whole outcome as text for callers that used to consume
+/// `plan_text` + loose seconds fields.
 struct QueryOutcome {
+  /// Per-stage wall-clock seconds for this query. Field names match the
+  /// span hierarchy in DESIGN.md §"Observability": total covers the whole
+  /// Query()/QueryStatement() call; the stage fields are disjoint
+  /// sub-intervals of it.
+  struct Timings {
+    double parse_seconds = 0.0;     // SQL text -> Statement (Query() only)
+    double plan_seconds = 0.0;      // Statement -> logical plan
+    double optimize_seconds = 0.0;  // logical -> physical (incl. re-opt
+                                    // after §2.5 pruning)
+    double gate_seconds = 0.0;      // C_cost threshold evaluation
+    double check_seconds = 0.0;     // decompose + C_aqp search + pruning
+    double execute_seconds = 0.0;   // plan execution
+    double record_seconds = 0.0;    // Operation O2 harvest + store
+    double total_seconds = 0.0;     // whole call, wall clock
+
+    /// Sum of the stage fields; <= total_seconds up to inter-stage glue.
+    double AccountedSeconds() const {
+      return parse_seconds + plan_seconds + optimize_seconds + gate_seconds +
+             check_seconds + execute_seconds + record_seconds;
+    }
+
+    std::string ToString() const;
+  };
+
   bool detected_empty = false;  // skipped execution via C_aqp
   bool executed = false;
   bool result_empty = false;    // final result set was empty
@@ -28,12 +62,24 @@ struct QueryOutcome {
   bool high_cost = false;       // estimated_cost > C_cost
 
   ExecutionResult result;  // rows (empty when detected_empty)
-  std::string plan_text;   // Operation O1: plan with output cardinalities
 
-  // Overhead accounting (seconds).
-  double check_seconds = 0.0;    // decompose + C_aqp search
-  double execute_seconds = 0.0;  // plan execution
-  double record_seconds = 0.0;   // Operation O2 harvest + store
+  /// The physical plan (post-pruning when §2.5 fired). After execution its
+  /// nodes carry actual output cardinalities; after a detection hit they
+  /// keep the optimizer estimates. Callers that rendered the old
+  /// `plan_text` field call plan->ToString().
+  PhysOpPtr plan;
+
+  Timings timings;
+
+  /// Operation O1, structured: present exactly when the result is empty.
+  /// For executed-empty results this is ExplainEmptyResult's annotated
+  /// plan + minimal causes; for detection hits the causes say the query
+  /// was proven empty from C_aqp without execution.
+  std::optional<EmptyResultExplanation> explanation;
+
+  /// Backward-compatible text rendering (status line, timings, plan,
+  /// explanation) — the replacement for ad-hoc printing of `plan_text`.
+  std::string ToString() const;
 };
 
 /// Aggregate counters across a query stream.
@@ -56,18 +102,29 @@ struct ManagerStats {
 /// Registers itself as a catalog update listener so base-table updates
 /// invalidate stored parts (read-mostly batch-update model).
 ///
+/// Every stage records its latency into the process-wide MetricsRegistry
+/// (`erq.manager.stage.*` histograms; see DESIGN.md §"Observability") and
+/// into the returned QueryOutcome::Timings.
+///
+/// The config is validated in the ctor (EmptyResultConfig::Validate());
+/// on a mis-configured manager every entry point returns that error.
+///
 /// Thread safety: the manager's own mutable state — the aggregate
 /// counters and the adaptive cost gate — is guarded by `mu_`, and the
 /// C_aqp collection inside the detector is internally synchronized, so
 /// concurrent sessions may issue Query()/QueryStatement() calls on one
-/// manager. The planner, optimizer, and catalog are thread-compatible
-/// (read-only here); concurrent catalog *mutations* must be synchronized
-/// by the caller.
+/// manager. Accessors ending in `_snapshot()` return value-type copies
+/// taken under the lock — never live references. The planner, optimizer,
+/// and catalog are thread-compatible (read-only here); concurrent catalog
+/// *mutations* must be synchronized by the caller.
 class EmptyResultManager {
  public:
   EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
                      EmptyResultConfig config = {},
                      OptimizerOptions optimizer_options = {});
+
+  /// Result of EmptyResultConfig::Validate() from construction time.
+  const Status& init_status() const { return init_status_; }
 
   /// Full workflow for a SQL string.
   StatusOr<QueryOutcome> Query(const std::string& sql);
@@ -80,17 +137,17 @@ class EmptyResultManager {
 
   EmptyResultDetector& detector() { return detector_; }
 
-  /// Consistent snapshot of the aggregate counters.
-  ManagerStats stats() const {
+  /// Value-type snapshot of the aggregate counters, taken under the lock.
+  ManagerStats stats_snapshot() const {
     MutexLock lock(&mu_);
     return stats_;
   }
 
-  /// Snapshot of the past-statistics model behind the C_cost gate;
-  /// consult cost_gate().Suggest() or enable config.auto_tune_c_cost.
-  AdaptiveCostGate cost_gate() const {
+  /// Value-type snapshot of the past-statistics model behind the C_cost
+  /// gate; consult .Suggest() or enable config.auto_tune_c_cost.
+  CostGateSnapshot cost_gate_snapshot() const {
     MutexLock lock(&mu_);
-    return cost_gate_;
+    return cost_gate_.Snapshot();
   }
 
   /// The threshold currently in force (config.c_cost, or the adaptive
@@ -105,12 +162,35 @@ class EmptyResultManager {
   void OnTableUpdated(const std::string& table_name);
 
  private:
+  /// Manager instruments, resolved once at construction (see metrics.h).
+  struct Instruments {
+    Histogram* stage_parse;
+    Histogram* stage_plan;
+    Histogram* stage_optimize;
+    Histogram* stage_gate;
+    Histogram* stage_check;
+    Histogram* stage_execute;
+    Histogram* stage_record;
+    Histogram* query_total;
+    Counter* queries;
+    Counter* low_cost;
+    Counter* checks;
+    Counter* detected_empty;
+    Counter* executed;
+    Counter* empty_results;
+    Counter* recorded;
+    Counter* branches_pruned;
+  };
+  static Instruments ResolveInstruments();
+
   Catalog* catalog_;
   StatsCatalog* stats_catalog_;
   const EmptyResultConfig config_;
+  const Status init_status_;
   Planner planner_;
   Optimizer optimizer_;
   EmptyResultDetector detector_;
+  const Instruments metrics_;
 
   mutable Mutex mu_;
   AdaptiveCostGate cost_gate_ ERQ_GUARDED_BY(mu_);

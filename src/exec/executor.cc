@@ -6,9 +6,42 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
+
 namespace erq {
 
 namespace {
+
+/// Executor instruments, resolved once (see metrics.h).
+struct ExecMetrics {
+  Counter* runs;
+  Counter* rows_scanned;
+  Counter* rows_emitted;
+
+  static const ExecMetrics& Get() {
+    static const ExecMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return ExecMetrics{
+          r.GetCounter("erq.exec.runs"),
+          r.GetCounter("erq.exec.rows_scanned"),
+          r.GetCounter("erq.exec.rows_emitted"),
+      };
+    }();
+    return m;
+  }
+};
+
+/// Total rows produced by leaf access paths (table/index scans) in one
+/// executed plan — the "work done" complement to rows_emitted.
+uint64_t ScannedRows(const PhysicalOperator& op) {
+  uint64_t total = 0;
+  if ((op.kind == PhysOpKind::kTableScan || op.kind == PhysOpKind::kIndexScan) &&
+      op.actual_rows > 0) {
+    total += static_cast<uint64_t>(op.actual_rows);
+  }
+  for (const PhysOpPtr& child : op.children) total += ScannedRows(*child);
+  return total;
+}
 
 /// Iterator interface. Next() returns nullopt at end of stream.
 class Iter {
@@ -831,6 +864,10 @@ StatusOr<ExecutionResult> Executor::Run(const PhysOpPtr& plan) {
     if (!row.has_value()) break;
     result.rows.push_back(std::move(*row));
   }
+  const ExecMetrics& metrics = ExecMetrics::Get();
+  metrics.runs->Increment();
+  metrics.rows_scanned->Increment(ScannedRows(*plan));
+  metrics.rows_emitted->Increment(result.rows.size());
   return result;
 }
 

@@ -1,10 +1,33 @@
 #include "mv/mv_cache.h"
 
+#include "common/metrics.h"
 #include "expr/normalize.h"
 
 namespace erq {
 
 namespace {
+
+/// Global MV-baseline instruments, resolved once (see metrics.h).
+/// Aggregated across instances; per-instance numbers via stats_snapshot().
+struct MvMetrics {
+  Counter* lookups;
+  Counter* hits;
+  Counter* stored;
+  Counter* evictions;
+
+  static const MvMetrics& Get() {
+    static const MvMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return MvMetrics{
+          r.GetCounter("erq.mv.lookups"),
+          r.GetCounter("erq.mv.hits"),
+          r.GetCounter("erq.mv.stored"),
+          r.GetCounter("erq.mv.evictions"),
+      };
+    }();
+    return m;
+  }
+};
 
 void AppendPlanFingerprint(const LogicalOperator& node, std::string* out) {
   out->append(LogicalOpKindToString(node.kind));
@@ -67,20 +90,24 @@ void MvEmptyCache::RecordEmpty(const LogicalOpPtr& root) {
     keys_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    MvMetrics::Get().evictions->Increment();
   }
   lru_.push_front(key);
   keys_.emplace(std::move(key), lru_.begin());
   ++stats_.stored;
+  MvMetrics::Get().stored->Increment();
 }
 
 bool MvEmptyCache::CheckEmpty(const LogicalOpPtr& root) {
   std::string key = Fingerprint(root);
   MutexLock lock(&mu_);
   ++stats_.lookups;
+  MvMetrics::Get().lookups->Increment();
   auto it = keys_.find(key);
   if (it == keys_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
+  MvMetrics::Get().hits->Increment();
   return true;
 }
 

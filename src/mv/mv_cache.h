@@ -51,7 +51,11 @@ class MvEmptyCache {
     return keys_.size();
   }
   void Clear();
-  MvStats stats() const {
+
+  /// Value-type snapshot of the counters, taken under the lock — never a
+  /// live reference. Mirrored, aggregated across instances, into
+  /// MetricsRegistry::Global() as `erq.mv.*`.
+  MvStats stats_snapshot() const {
     MutexLock lock(&mu_);
     return stats_;
   }

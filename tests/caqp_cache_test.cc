@@ -27,8 +27,8 @@ TEST(CaqpCacheTest, InsertAndHit) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 5)));
   EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 6)));
-  EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats_snapshot().hits, 1u);
+  EXPECT_EQ(cache.stats_snapshot().lookups, 2u);
 }
 
 TEST(CaqpCacheTest, CoverageAcrossGenerality) {
@@ -64,7 +64,7 @@ TEST(CaqpCacheTest, RedundantInsertSkipped) {
   cache.Insert(Range("t", "x", 0, 100));
   cache.Insert(Point("t", "x", 50));  // covered by the range: skipped
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.stats().skipped_covered, 1u);
+  EXPECT_EQ(cache.stats_snapshot().skipped_covered, 1u);
 }
 
 TEST(CaqpCacheTest, MoreGeneralInsertDisplacesCovered) {
@@ -73,7 +73,7 @@ TEST(CaqpCacheTest, MoreGeneralInsertDisplacesCovered) {
   cache.Insert(Point("t", "x", 60));
   cache.Insert(Range("t", "x", 0, 100));  // covers both points
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.stats().removed_covered, 2u);
+  EXPECT_EQ(cache.stats_snapshot().removed_covered, 2u);
   EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 60)));
 }
 
@@ -97,7 +97,7 @@ TEST(CaqpCacheTest, CapacityEnforced) {
     cache.Insert(Point("t", "x", i));
   }
   EXPECT_EQ(cache.size(), 10u);
-  EXPECT_GE(cache.stats().evictions, 15u);
+  EXPECT_GE(cache.stats_snapshot().evictions, 15u);
 }
 
 TEST(CaqpCacheTest, ClockKeepsRecentlyHitParts) {
@@ -200,7 +200,7 @@ TEST(CaqpCacheTest, IndexOffStillCorrect) {
   EXPECT_FALSE(cache.CoveredBy(Point("v", "x", 5)));
   // Redundancy rules still apply without the index.
   cache.Insert(Range("t", "x", 0, 100));  // displaces the point on t
-  EXPECT_EQ(cache.stats().removed_covered, 1u);
+  EXPECT_EQ(cache.stats_snapshot().removed_covered, 1u);
   EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 5)));
   cache.InvalidateRelation("t");
   EXPECT_FALSE(cache.CoveredBy(Point("t", "x", 5)));
@@ -225,7 +225,7 @@ TEST(CaqpCacheTest, EntryGarbageCollectionBoundsGrowth) {
     EXPECT_EQ(dropped, 1u);
     EXPECT_EQ(cache.size(), 0u);
   }
-  CaqpCache::CacheStats stats = cache.stats();
+  CaqpCache::CacheStats stats = cache.stats_snapshot();
   EXPECT_EQ(stats.entries_live, 0u);
   EXPECT_EQ(stats.index_names, 0u);
   // Entry slots are recycled through the free list: allocation stays at
@@ -244,14 +244,14 @@ TEST(CaqpCacheTest, EvictionReclaimsEmptyEntries) {
     for (int64_t i = 0; i < 4; ++i) {
       cache.Insert(Point(("r" + std::to_string(i)).c_str(), "x", i));
     }
-    EXPECT_EQ(cache.stats().entries_live, 4u);
+    EXPECT_EQ(cache.stats_snapshot().entries_live, 4u);
     for (int64_t i = 0; i < 8; ++i) {
       cache.Insert(Point(("s" + std::to_string(i)).c_str(), "x", i));
       EXPECT_EQ(cache.size(), 4u);
-      EXPECT_EQ(cache.stats().entries_live, 4u);
+      EXPECT_EQ(cache.stats_snapshot().entries_live, 4u);
     }
     // Allocated entry slots were recycled, not accumulated.
-    EXPECT_LE(cache.stats().entries_allocated, 5u);
+    EXPECT_LE(cache.stats_snapshot().entries_allocated, 5u);
   }
 }
 
@@ -284,7 +284,7 @@ TEST(CaqpCacheTest, IndexInstrumentationCountsWork) {
   // Probe on {a}: the index enumerates only a's posting list (1 element,
   // 1 candidate entry), never touching b's or c's entries.
   EXPECT_TRUE(cache.CoveredBy(Point("a", "x", 1)));
-  CaqpCache::CacheStats stats = cache.stats();
+  CaqpCache::CacheStats stats = cache.stats_snapshot();
   EXPECT_EQ(stats.postings_scanned, 1u);
   EXPECT_EQ(stats.candidate_entries, 1u);
   EXPECT_EQ(stats.conditions_scanned, 1u);
@@ -292,7 +292,7 @@ TEST(CaqpCacheTest, IndexInstrumentationCountsWork) {
   // Probe on a relation with no posting list: zero candidates.
   cache.ResetStats();
   EXPECT_FALSE(cache.CoveredBy(Point("zzz", "x", 1)));
-  stats = cache.stats();
+  stats = cache.stats_snapshot();
   EXPECT_EQ(stats.postings_scanned, 0u);
   EXPECT_EQ(stats.candidate_entries, 0u);
   EXPECT_EQ(stats.conditions_scanned, 0u);
@@ -315,7 +315,7 @@ TEST(CaqpCacheTest, SignatureRejectsAreCounted) {
       Conjunction::Make({PrimitiveTerm::MakeInterval(
           ColumnId::Make("a", "x"), ValueInterval::Point(Value::Int(1)))}));
   EXPECT_FALSE(cache.CoveredBy(ac));
-  CaqpCache::CacheStats stats = cache.stats();
+  CaqpCache::CacheStats stats = cache.stats_snapshot();
   EXPECT_EQ(stats.candidate_entries, 1u);
   // The candidate never reached a cover test.
   EXPECT_EQ(stats.conditions_scanned, 0u);

@@ -148,7 +148,7 @@ TEST_F(CombinedTest, MixedTraceWithQ2ReplaysCorrectly) {
     EXPECT_EQ(outcome.result_empty, q.expect_empty) << q.sql;
   }
   EXPECT_GT(q2_count, 20u) << "Q2 templates should appear in the mix";
-  EXPECT_GT(manager_->stats().detected_empty, 0u);
+  EXPECT_GT(manager_->stats_snapshot().detected_empty, 0u);
 }
 
 TEST_F(CombinedTest, UpdateFilterKeepsSubqueryKnowledge) {

@@ -11,6 +11,7 @@
 #include <random>
 #include <thread>
 
+#include "common/metrics.h"
 #include "core/caqp_cache.h"
 #include "core/manager.h"
 #include "gtest/gtest.h"
@@ -56,7 +57,7 @@ TEST(ConcurrencyTest, MixedLookupsAndInsertsKeepInvariants) {
   std::vector<AtomicQueryPart> snapshot = cache.Snapshot();
   EXPECT_EQ(snapshot.size(), cache.size());
   EXPECT_GT(hits.load(), 0u);
-  CaqpCache::CacheStats stats = cache.stats();
+  CaqpCache::CacheStats stats = cache.stats_snapshot();
   EXPECT_EQ(stats.lookups,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
   // Every live part is findable.
@@ -162,7 +163,7 @@ TEST(ConcurrencyTest, EvictionChurnUnderContention) {
   for (std::thread& t : threads) t.join();
 
   EXPECT_LE(cache.size(), n_max);
-  CaqpCache::CacheStats stats = cache.stats();
+  CaqpCache::CacheStats stats = cache.stats_snapshot();
   EXPECT_GT(stats.evictions, 0u);
   EXPECT_EQ(stats.insert_attempts,
             static_cast<uint64_t>(kWriters) * kOpsPerThread);
@@ -222,7 +223,7 @@ TEST(ConcurrencyTest, LookupHeavyReadersRaceInsertAndInvalidate) {
   inserter.join();
   invalidator.join();
 
-  CaqpCache::CacheStats stats = cache.stats();
+  CaqpCache::CacheStats stats = cache.stats_snapshot();
   EXPECT_GE(stats.lookups, static_cast<uint64_t>(kReaders) *
                                kLookupsPerReader * 2);
   EXPECT_GE(stats.hits, static_cast<uint64_t>(kReaders) * kLookupsPerReader);
@@ -270,7 +271,7 @@ TEST(ConcurrencyTest, MvCacheConcurrentRecordAndCheck) {
   for (std::thread& t : threads) t.join();
 
   EXPECT_LE(mv.size(), 8u);
-  MvEmptyCache::MvStats stats = mv.stats();
+  MvEmptyCache::MvStats stats = mv.stats_snapshot();
   EXPECT_GT(stats.lookups, 0u);
   EXPECT_GT(stats.stored, 0u);
 }
@@ -320,11 +321,67 @@ TEST(ConcurrencyTest, ManagerConcurrentQueriesAndInvalidation) {
   stop.store(true);
   invalidator.join();
 
-  ManagerStats stats = manager.stats();
+  ManagerStats stats = manager.stats_snapshot();
   EXPECT_EQ(stats.queries,
             static_cast<uint64_t>(kSessions) * kQueriesPerSession);
   EXPECT_EQ(stats.queries, issued.load());
   EXPECT_EQ(stats.detected_empty + stats.executed, stats.queries);
+}
+
+TEST(ConcurrencyTest, MetricsHammeredFromEightThreads) {
+  // The observability hot path (Counter::Increment, Gauge::Add,
+  // Histogram::Observe) is lock-free relaxed atomics; registration and
+  // ToJson() take the registry mutex. Hammer all of it from 8 threads —
+  // under TSan the value of this test is the absence of race reports, and
+  // relaxed counting must still lose no increments.
+  MetricsRegistry registry;  // private registry: counts are exactly ours
+  const int kThreads = 8;
+  const int kOpsPerThread = 20000;
+
+  Counter* shared_counter = registry.GetCounter("erq.test.hammer.counter");
+  Gauge* shared_gauge = registry.GetGauge("erq.test.hammer.gauge");
+  Histogram* shared_histogram =
+      registry.GetHistogram("erq.test.hammer.histogram");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(7000 + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        shared_counter->Increment();
+        shared_gauge->Add(op % 2 == 0 ? 1 : -1);
+        // Spread observations across the whole bucket ladder (1us..>67s).
+        shared_histogram->Observe(1e-6 * static_cast<double>(rng() % 100000));
+        if (op % 1000 == 0) {
+          // Concurrent registration of the same + distinct names, and a
+          // concurrent JSON snapshot racing the relaxed updates.
+          Counter* mine = registry.GetCounter(
+              "erq.test.hammer.t" + std::to_string(t));
+          mine->Increment();
+          EXPECT_EQ(registry.GetCounter("erq.test.hammer.counter"),
+                    shared_counter);
+          std::string json = registry.ToJson();
+          EXPECT_NE(json.find("erq.test.hammer.counter"), std::string::npos);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const uint64_t expected =
+      static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kOpsPerThread);
+  EXPECT_EQ(shared_counter->Value(), expected);
+  EXPECT_EQ(shared_gauge->Value(), 0);  // balanced +1/-1 per thread
+  Histogram::Snapshot snap = shared_histogram->TakeSnapshot();
+  EXPECT_EQ(snap.count, expected);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        registry.GetCounter("erq.test.hammer.t" + std::to_string(t))->Value(),
+        static_cast<uint64_t>(kOpsPerThread + 999) / 1000);
+  }
 }
 
 }  // namespace

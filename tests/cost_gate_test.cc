@@ -66,11 +66,11 @@ TEST(CostGateTest, ManagerFeedsTheGate) {
     ERQ_ASSERT_OK(manager.Query("select * from A where a > 100").status());
     ERQ_ASSERT_OK(manager.Query("select * from A").status());
   }
-  const AdaptiveCostGate& gate = manager.cost_gate();
+  CostGateSnapshot gate = manager.cost_gate_snapshot();
   EXPECT_EQ(gate.samples(), 10u);
-  EXPECT_GT(gate.EmptyFraction(), 0.0);
-  EXPECT_GT(gate.HitFraction(), 0.0) << "repeats should have been detected";
-  EXPECT_GT(gate.AverageCheckSeconds(), 0.0);
+  EXPECT_GT(gate.empty_fraction, 0.0);
+  EXPECT_GT(gate.hit_fraction, 0.0) << "repeats should have been detected";
+  EXPECT_GT(gate.average_check_seconds, 0.0);
 }
 
 TEST(CostGateTest, AutoTuneTakesOverAfterWarmup) {

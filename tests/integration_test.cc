@@ -150,7 +150,7 @@ TEST_F(TpcrIntegrationTest, TraceReplayAchievesPaperSavings) {
     ERQ_ASSERT_OK_AND_ASSIGN(QueryOutcome outcome, manager.Query(q.sql));
     EXPECT_EQ(outcome.result_empty, q.expect_empty) << q.sql;
   }
-  const ManagerStats& mstats = manager.stats();
+  const ManagerStats& mstats = manager.stats_snapshot();
   EXPECT_EQ(mstats.queries, trace.size());
   // Every repeated empty query must be detected (identical SQL => same
   // atomic parts => covered).

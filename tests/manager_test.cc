@@ -36,9 +36,9 @@ TEST_F(ManagerTest, DetectsRepeatedEmptyQueryWithoutExecution) {
   EXPECT_TRUE(second.result_empty);
   EXPECT_EQ(second.result.rows.size(), 0u);
 
-  EXPECT_EQ(manager.stats().queries, 2u);
-  EXPECT_EQ(manager.stats().detected_empty, 1u);
-  EXPECT_EQ(manager.stats().executed, 1u);
+  EXPECT_EQ(manager.stats_snapshot().queries, 2u);
+  EXPECT_EQ(manager.stats_snapshot().detected_empty, 1u);
+  EXPECT_EQ(manager.stats_snapshot().executed, 1u);
 }
 
 TEST_F(ManagerTest, NonEmptyQueriesFlowThrough) {
@@ -49,8 +49,8 @@ TEST_F(ManagerTest, NonEmptyQueriesFlowThrough) {
   EXPECT_TRUE(outcome.executed);
   EXPECT_FALSE(outcome.result_empty);
   EXPECT_EQ(outcome.result_rows, 5u);
-  EXPECT_FALSE(outcome.plan_text.empty());
-  EXPECT_NE(outcome.plan_text.find("actual="), std::string::npos)
+  ASSERT_NE(outcome.plan, nullptr);
+  EXPECT_NE(outcome.plan->ToString().find("actual="), std::string::npos)
       << "Operation O1 requires per-operator cardinalities in the plan";
 }
 
@@ -65,8 +65,8 @@ TEST_F(ManagerTest, LowCostQueriesSkipTheCheck) {
   EXPECT_EQ(first.aqps_recorded, 0u) << "low-cost empties are not stored";
   ERQ_ASSERT_OK_AND_ASSIGN(QueryOutcome second, manager.Query(sql));
   EXPECT_TRUE(second.executed) << "no check for low-cost queries";
-  EXPECT_EQ(manager.stats().checks, 0u);
-  EXPECT_EQ(manager.stats().low_cost, 2u);
+  EXPECT_EQ(manager.stats_snapshot().checks, 0u);
+  EXPECT_EQ(manager.stats_snapshot().low_cost, 2u);
 }
 
 TEST_F(ManagerTest, DetectionDisabledBaseline) {
@@ -150,13 +150,13 @@ TEST_F(ManagerTest, StatsAccumulateAcrossStream) {
   ERQ_ASSERT_OK(manager.Query("select * from A where a > 100").status());
   ERQ_ASSERT_OK(manager.Query("select * from A where a > 100").status());
   ERQ_ASSERT_OK(manager.Query("select * from A").status());
-  const ManagerStats& stats = manager.stats();
+  const ManagerStats& stats = manager.stats_snapshot();
   EXPECT_EQ(stats.queries, 3u);
   EXPECT_EQ(stats.executed, 2u);
   EXPECT_EQ(stats.detected_empty, 1u);
   EXPECT_EQ(stats.empty_results, 1u);
   manager.ResetStats();
-  EXPECT_EQ(manager.stats().queries, 0u);
+  EXPECT_EQ(manager.stats_snapshot().queries, 0u);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ TEST(MvCacheTest, ExactRepeatHit) {
   EXPECT_FALSE(cache.CheckEmpty(*plan));
   cache.RecordEmpty(*plan);
   EXPECT_TRUE(cache.CheckEmpty(*plan));
-  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats_snapshot().hits, 1u);
 }
 
 TEST(MvCacheTest, EquivalentAfterNormalizationHit) {
@@ -95,7 +95,7 @@ TEST(MvCacheTest, LruEvictionUnderCapacity) {
   EXPECT_TRUE(cache.CheckEmpty(*a));
   EXPECT_FALSE(cache.CheckEmpty(*b));
   EXPECT_TRUE(cache.CheckEmpty(*c));
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats_snapshot().evictions, 1u);
 }
 
 TEST(MvCacheTest, RecordingTwiceDoesNotDuplicate) {

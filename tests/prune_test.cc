@@ -41,8 +41,9 @@ TEST_F(PruneTest, UnionWithEmptyLeftBranchPrunes) {
   EXPECT_EQ(outcome.branches_pruned, 1u);
   EXPECT_EQ(outcome.result_rows, 5u);  // B.d = {0..4}
   // The executed plan must not contain the Union operator anymore.
-  EXPECT_EQ(outcome.plan_text.find("Union"), std::string::npos)
-      << outcome.plan_text;
+  ASSERT_NE(outcome.plan, nullptr);
+  EXPECT_EQ(outcome.plan->ToString().find("Union"), std::string::npos)
+      << outcome.plan->ToString();
 }
 
 TEST_F(PruneTest, UnionDistinctStillDeduplicates) {
@@ -73,7 +74,8 @@ TEST_F(PruneTest, ExceptWithEmptyRightBranchPrunes) {
       manager_->Query("select c from A except select d from B where d = 999"));
   EXPECT_EQ(outcome.branches_pruned, 1u);
   EXPECT_EQ(outcome.result_rows, 5u);  // EXCEPT dedups left
-  EXPECT_EQ(outcome.plan_text.find("Except"), std::string::npos);
+  ASSERT_NE(outcome.plan, nullptr);
+  EXPECT_EQ(outcome.plan->ToString().find("Except"), std::string::npos);
 }
 
 TEST_F(PruneTest, ExceptAllWithEmptyRightKeepsMultiplicity) {
@@ -133,7 +135,7 @@ TEST_F(PruneTest, NestedSetOpsPruneRecursively) {
                       "except select d from B where d = 999"));
   EXPECT_EQ(outcome.branches_pruned, 2u);
   EXPECT_EQ(outcome.result_rows, 5u);
-  EXPECT_EQ(manager_->stats().branches_pruned, 2u);
+  EXPECT_EQ(manager_->stats_snapshot().branches_pruned, 2u);
 }
 
 }  // namespace

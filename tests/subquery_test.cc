@@ -134,7 +134,7 @@ TEST_F(SubqueryDetectTest, RepeatDetectedWithoutExecution) {
   EXPECT_TRUE(first.result_empty);
   EXPECT_GT(first.aqps_recorded, 0u);
   ERQ_ASSERT_OK_AND_ASSIGN(QueryOutcome second, manager_->Query(sql));
-  EXPECT_TRUE(second.detected_empty) << second.plan_text;
+  EXPECT_TRUE(second.detected_empty) << second.ToString();
 }
 
 TEST_F(SubqueryDetectTest, SubqueryKnowledgeTransfersToPlainJoin) {

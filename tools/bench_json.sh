@@ -11,7 +11,11 @@
 #                                             # the benches run and emit JSON
 #
 # The merged document holds one "benchmarks" array per binary plus the
-# google-benchmark context (host, caches, date) and the git revision.
+# google-benchmark context (host, caches, date), the git revision, and —
+# when the metrics_dump CLI is built — a "metrics" key carrying the
+# erq.metrics.v1 pipeline snapshot from a short TPC-R trace replay, so
+# BENCH_*.json and live metrics share one schema (DESIGN.md
+# §"Observability").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,15 +38,40 @@ for b in bench_concurrent bench_micro; do
     exit 1
   fi
   echo "== $b =="
-  "$bin" "${ARGS[@]}" "--benchmark_out=$TMP/$b.json"
+  # bench_concurrent drives the real CaqpCache, which mirrors its counters
+  # into the process-wide MetricsRegistry; capture that run's erq.caqp.*
+  # totals in the same erq.metrics.v1 schema.
+  ERQ_METRICS_OUT="$TMP/_metrics_$b.out" \
+    "$bin" "${ARGS[@]}" "--benchmark_out=$TMP/$b.json"
 done
+
+# Pipeline metrics snapshot in the same document: replay a short TPC-R
+# trace and capture the erq.metrics.v1 registry dump.
+METRICS_BIN="$BUILD/tools/metrics_dump"
+if [[ -x "$METRICS_BIN" ]]; then
+  echo "== metrics_dump =="
+  "$METRICS_BIN" --trace tpcr --json --queries 200 > "$TMP/_metrics.out"
+else
+  echo "note: $METRICS_BIN not built; skipping metrics snapshot" >&2
+fi
 
 python3 - "$TMP" "$OUT" <<'PY'
 import json, os, subprocess, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 merged = {"context": {}, "benchmarks": {}}
+metrics_path = os.path.join(tmp, "_metrics.out")
+if os.path.exists(metrics_path):
+    with open(metrics_path) as f:
+        merged["metrics"] = json.load(f)
 for name in sorted(os.listdir(tmp)):
+    if name.startswith("_metrics_") and name.endswith(".out"):
+        with open(os.path.join(tmp, name)) as f:
+            merged.setdefault("bench_metrics", {})[
+                name[len("_metrics_"):-len(".out")]] = json.load(f)
+for name in sorted(os.listdir(tmp)):
+    if not name.endswith(".json"):
+        continue
     with open(os.path.join(tmp, name)) as f:
         doc = json.load(f)
     if not merged["context"]:

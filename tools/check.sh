@@ -48,7 +48,25 @@ configure_build_test() {
 }
 
 run_plain() {
-  configure_build_test plain -- -DERQ_WERROR=ON
+  configure_build_test plain -- -DERQ_WERROR=ON || return 1
+  # Observability smoke: the metrics CLI must replay a short TPC-R trace
+  # and emit a parseable erq.metrics.v1 document (DESIGN.md §Observability).
+  local dir="$ROOT/build-check-plain"
+  log "plain: metrics_dump --trace tpcr --json smoke"
+  if "$dir/tools/metrics_dump" --trace tpcr --json --queries 50 \
+      | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["schema"] == "erq.metrics.v1", doc.get("schema")
+assert doc["counters"]["erq.manager.queries"] == 50
+assert "erq.manager.stage.check" in doc["histograms"]
+print("metrics_dump: OK (%d counters, %d histograms)"
+      % (len(doc["counters"]), len(doc["histograms"])))
+'; then
+    ok "plain (metrics_dump smoke)"
+  else
+    bad "plain (metrics_dump smoke)"
+  fi
 }
 
 run_asan() {
@@ -103,7 +121,8 @@ run_bench() {
   log "bench: configure"
   cmake -B "$dir" -S "$ROOT" || { bad "bench (configure)"; return 1; }
   log "bench: build"
-  cmake --build "$dir" -j "$JOBS" --target bench_concurrent bench_micro \
+  cmake --build "$dir" -j "$JOBS" \
+    --target bench_concurrent bench_micro metrics_dump \
     || { bad "bench (build)"; return 1; }
   log "bench: tools/bench_json.sh"
   tools/bench_json.sh "$dir" || { bad "bench (run)"; return 1; }

@@ -10,6 +10,12 @@ Checks (all file-level, no compiler needed):
   3. No `using namespace` at file or namespace scope inside headers.
   4. Banned unbounded C string functions: strcpy, strcat, sprintf,
      vsprintf, gets (use std::string / snprintf).
+  5. No ad-hoc stat dumps in library code: printf / fprintf / puts /
+     std::cout & friends are banned under src/ outside the metrics layer
+     (src/common/metrics.*). Library components publish numbers through
+     MetricsRegistry (DESIGN.md §"Observability"); only CLIs, benches,
+     examples, and tests print. String formatting via snprintf stays
+     allowed.
 
 Run from the repository root (the lint ctest does this automatically):
     python3 tools/lint.py
@@ -29,6 +35,12 @@ HEADER_DIRS = ["src", "tests"]
 THIRD_PARTY_PREFIXES = ("gtest/", "gmock/", "benchmark/")
 
 BANNED_FUNCTIONS = re.compile(r"\b(strcpy|strcat|sprintf|vsprintf|gets)\s*\(")
+# Ad-hoc stat dumps in library code (src/ outside the metrics layer).
+# snprintf/vsnprintf write to buffers, not streams, and stay allowed.
+STAT_DUMPS = re.compile(
+    r"\b(?:std\s*::\s*)?(printf|fprintf|vprintf|vfprintf|puts|fputs)\s*\("
+    r"|\bstd\s*::\s*(cout|cerr|clog)\b")
+STAT_DUMP_EXEMPT = {Path("src/common/metrics.h"), Path("src/common/metrics.cc")}
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
@@ -126,6 +138,20 @@ def check_banned_functions(path, code_lines, errors):
                 f"(unbounded C string write; use std::string or snprintf)")
 
 
+def check_stat_dumps(path, code_lines, errors):
+    rel = path.relative_to(ROOT)
+    if rel.parts[0] != "src" or rel in STAT_DUMP_EXEMPT:
+        return
+    for lineno, line in code_lines:
+        m = STAT_DUMPS.search(line)
+        if m:
+            name = m.group(1) or "std::" + m.group(2)
+            errors.append(
+                f"{path}:{lineno}: ad-hoc stat dump via {name!r} in library "
+                f"code; publish through MetricsRegistry "
+                f"(src/common/metrics.h) instead")
+
+
 def main() -> int:
     errors = []
 
@@ -140,6 +166,7 @@ def main() -> int:
         code_lines = list(enumerate(text.splitlines(), start=1))
         check_includes(path, code_lines, errors)
         check_banned_functions(path, code_lines, errors)
+        check_stat_dumps(path, code_lines, errors)
 
     if errors:
         print(f"lint: {len(errors)} violation(s)", file=sys.stderr)

@@ -1,0 +1,115 @@
+// Runs a workload through the full detection pipeline and dumps the
+// process-wide MetricsRegistry snapshot — the machine-readable
+// observability surface (schema "erq.metrics.v1", see DESIGN.md
+// §"Observability"). CI smoke-tests this binary and tools/bench_json.sh
+// embeds the same document into BENCH_*.json.
+//
+//   $ metrics_dump --trace tpcr --json [--queries N]
+//
+//   --trace tpcr   replay the synthetic CRM trace over the TPC-R instance
+//                  (the only trace currently defined; default)
+//   --json         print the metrics JSON document to stdout (default
+//                  prints a short human summary followed by the JSON)
+//   --queries N    trace length (default 500 — a few seconds of work)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/manager.h"
+#include "workload/trace.h"
+
+namespace erq {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trace tpcr] [--json] [--queries N]\n", argv0);
+  return 2;
+}
+
+int RunTpcrTrace(size_t total_queries, bool json_only) {
+  Catalog catalog;
+  TpcrConfig tpcr;
+  tpcr.customers_per_unit = 500;
+  tpcr.seed = 11;
+  auto instance = BuildTpcr(&catalog, tpcr);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "BuildTpcr: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  if (!BuildTpcrIndexes(&catalog).ok()) return 1;
+  StatsCatalog stats;
+  if (!stats.AnalyzeAll(catalog).ok()) return 1;
+
+  TraceConfig trace_config;
+  trace_config.total_queries = total_queries;
+  std::vector<TraceQuery> trace = GenerateCrmTrace(*instance, trace_config);
+
+  EmptyResultConfig config;
+  config.c_cost = 0.0;  // check everything: exercises the whole pipeline
+  EmptyResultManager manager(&catalog, &stats, config);
+  if (!manager.init_status().ok()) {
+    std::fprintf(stderr, "manager: %s\n",
+                 manager.init_status().ToString().c_str());
+    return 1;
+  }
+
+  // Scope the snapshot to this trace (workload setup above may already
+  // have touched the executor counters through AnalyzeAll or index reads).
+  MetricsRegistry::Global().Reset();
+
+  for (const TraceQuery& q : trace) {
+    auto outcome = manager.Query(q.sql);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "query failed: %s\n%s\n",
+                   outcome.status().ToString().c_str(), q.sql.c_str());
+      return 1;
+    }
+    if (outcome->result_empty != q.expect_empty) {
+      std::fprintf(stderr, "emptiness mismatch on: %s\n", q.sql.c_str());
+      return 1;
+    }
+  }
+
+  if (!json_only) {
+    ManagerStats ms = manager.stats_snapshot();
+    std::fprintf(stderr,
+                 "replayed %zu queries: %llu executed, %llu detected empty, "
+                 "%llu recorded; C_aqp size %zu\n",
+                 trace.size(), static_cast<unsigned long long>(ms.executed),
+                 static_cast<unsigned long long>(ms.detected_empty),
+                 static_cast<unsigned long long>(ms.recorded),
+                 manager.detector().cache().size());
+  }
+  std::fputs(MetricsRegistry::Global().ToJson().c_str(), stdout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string trace = "tpcr";
+  bool json_only = false;
+  size_t total_queries = 500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_only = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      total_queries = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (trace != "tpcr" || total_queries == 0) return Usage(argv[0]);
+  return RunTpcrTrace(total_queries, json_only);
+}
+
+}  // namespace
+}  // namespace erq
+
+int main(int argc, char** argv) { return erq::Main(argc, argv); }
