@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

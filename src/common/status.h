@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  kIoError,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Atomic query parts (§2.1): the unit of knowledge stored in C_aqp.
+
 #include <string>
 #include <vector>
 
@@ -15,10 +18,14 @@ class RelationSet {
   RelationSet() = default;
   explicit RelationSet(std::vector<std::string> names);
 
+  /// The sorted, unique, lowercase occurrence names.
   const std::vector<std::string>& names() const { return names_; }
+  /// Number of relation occurrences.
   size_t size() const { return names_.size(); }
+  /// True when no relation occurrence is present.
   bool empty() const { return names_.empty(); }
 
+  /// True if `name` is one of the occurrence names (exact match).
   bool Contains(const std::string& name) const;
 
   /// True if every relation here also appears in `other` (R_N ⊆ R_N').
@@ -30,7 +37,9 @@ class RelationSet {
 
   /// Canonical key ("a,b,c") for hashing / entry lookup.
   std::string Key() const;
+  /// Hash of Key(), suitable for unordered containers.
   size_t Hash() const;
+  /// Debug rendering, e.g. "{a, b#2}".
   std::string ToString() const;
 
  private:
@@ -47,7 +56,9 @@ class AtomicQueryPart {
   AtomicQueryPart(RelationSet relations, Conjunction condition)
       : relations_(std::move(relations)), condition_(std::move(condition)) {}
 
+  /// R_N: the canonical relation-occurrence set.
   const RelationSet& relations() const { return relations_; }
+  /// S_C: the selection condition (a conjunction of primitive terms).
   const Conjunction& condition() const { return condition_; }
 
   /// Theorem 2 premise: this covers other iff R_N ⊆ R_N' and S_C covers
@@ -70,12 +81,16 @@ class AtomicQueryPart {
   /// database — detectable without any stored information).
   bool ProvablyUnsatisfiable() const { return condition_.unsatisfiable(); }
 
+  /// Structural equality of relation set and condition (not semantic
+  /// equivalence — use Covers() both ways for that).
   bool Equals(const AtomicQueryPart& other) const {
     return relations_ == other.relations_ &&
            condition_.Equals(other.condition_);
   }
 
+  /// Structural hash consistent with Equals().
   size_t Hash() const;
+  /// Debug rendering: relations + condition.
   std::string ToString() const;
 
  private:

@@ -209,6 +209,9 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
     for (size_t slot : entry.items) {
       if (aqp.Covers(slots_[slot].aqp)) {
         Item& victim = slots_[slot];
+        if (listener_ != nullptr) {
+          listener_->OnRemove(victim.aqp, RemoveReason::kDisplaced);
+        }
         victim.alive = false;
         victim.aqp = AtomicQueryPart();  // release the condition's memory
         free_slots_.push_back(slot);
@@ -247,6 +250,7 @@ void CaqpCache::Insert(const AtomicQueryPart& aqp) {
   counters_.inserted.fetch_add(1, kRelaxed);
   CaqpMetrics::Get().inserted->Increment();
   CaqpMetrics::Get().size->Add(1);
+  if (listener_ != nullptr) listener_->OnInsert(aqp);
 }
 
 void CaqpCache::EvictOneLocked() {
@@ -314,6 +318,9 @@ void CaqpCache::RemoveItemLocked(size_t slot) {
   Item& item = slots_[slot];
   Entry& entry = entries_[item.entry_index];
   entry.items.erase(std::find(entry.items.begin(), entry.items.end(), slot));
+  if (listener_ != nullptr) {
+    listener_->OnRemove(item.aqp, RemoveReason::kEvicted);
+  }
   item.alive = false;
   item.aqp = AtomicQueryPart();  // release the condition's memory
   free_slots_.push_back(slot);
@@ -326,6 +333,9 @@ void CaqpCache::DropEntryItemsLocked(size_t idx) {
   Entry& entry = entries_[idx];
   for (size_t slot : entry.items) {
     Item& item = slots_[slot];
+    if (listener_ != nullptr) {
+      listener_->OnRemove(item.aqp, RemoveReason::kInvalidated);
+    }
     item.alive = false;
     item.aqp = AtomicQueryPart();
     free_slots_.push_back(slot);
@@ -393,6 +403,7 @@ size_t CaqpCache::GetOrCreateEntryLocked(const RelationSet& relations) {
 
 void CaqpCache::Clear() {
   WriterMutexLock lock(&mu_);
+  if (listener_ != nullptr) listener_->OnClear();
   slots_.clear();
   free_slots_.clear();
   entries_.clear();
@@ -438,6 +449,9 @@ size_t CaqpCache::DropIf(
     for (size_t slot : entry.items) {
       if (pred(slots_[slot].aqp)) {
         Item& item = slots_[slot];
+        if (listener_ != nullptr) {
+          listener_->OnRemove(item.aqp, RemoveReason::kInvalidated);
+        }
         item.alive = false;
         item.aqp = AtomicQueryPart();
         free_slots_.push_back(slot);
@@ -553,6 +567,11 @@ std::string CaqpCache::Explain() const {
       per_lookup(s.signature_rejects), per_lookup(s.conditions_scanned));
   out += buf;
   return out;
+}
+
+void CaqpCache::SetChangeListener(ChangeListener* listener) {
+  WriterMutexLock lock(&mu_);
+  listener_ = listener;
 }
 
 std::vector<AtomicQueryPart> CaqpCache::Snapshot() const {

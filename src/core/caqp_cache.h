@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// CaqpCache — the bounded, indexed, thread-safe C_aqp collection.
+
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -45,30 +48,58 @@ namespace erq {
 /// dropped on insert, and an insert that is itself covered is skipped).
 class CaqpCache {
  public:
+  /// Why a stored part left the cache (passed to ChangeListener::OnRemove).
+  enum class RemoveReason {
+    /// Capacity eviction (clock/LRU/FIFO victim).
+    kEvicted,
+    /// Displaced on insert by a more general covering part.
+    kDisplaced,
+    /// Dropped by InvalidateRelation / DropIf after a database update.
+    kInvalidated,
+  };
+
+  /// Observer of cache mutations, used by the persistence layer to
+  /// journal every change. All callbacks run under the cache's exclusive
+  /// lock, in mutation order (for an Insert that displaces covered parts,
+  /// the OnRemove calls precede the OnInsert); implementations must be
+  /// fast and must not call back into the cache.
+  class ChangeListener {
+   public:
+    virtual ~ChangeListener() = default;
+    /// `aqp` was stored.
+    virtual void OnInsert(const AtomicQueryPart& aqp) = 0;
+    /// `aqp` was removed for `reason`.
+    virtual void OnRemove(const AtomicQueryPart& aqp, RemoveReason reason) = 0;
+    /// The cache was cleared wholesale (no per-part OnRemove calls).
+    virtual void OnClear() = 0;
+  };
+
+  /// Value-type snapshot of the cache's counters and gauges (see
+  /// stats_snapshot()).
   struct CacheStats {
-    uint64_t lookups = 0;          // CoveredBy calls
-    uint64_t hits = 0;             // CoveredBy returned true
-    uint64_t conditions_scanned = 0;  // cover tests performed
-    uint64_t insert_attempts = 0;
-    uint64_t inserted = 0;
-    uint64_t skipped_covered = 0;  // new part already covered => not stored
-    uint64_t removed_covered = 0;  // stored parts displaced by a more
-                                   // general new part
-    uint64_t evictions = 0;
-    uint64_t invalidation_drops = 0;
+    uint64_t lookups = 0;          ///< CoveredBy calls
+    uint64_t hits = 0;             ///< CoveredBy returned true
+    uint64_t conditions_scanned = 0;  ///< cover tests performed
+    uint64_t insert_attempts = 0;  ///< Insert calls
+    uint64_t inserted = 0;         ///< parts actually stored
+    uint64_t skipped_covered = 0;  ///< new part already covered => not stored
+    uint64_t removed_covered = 0;  ///< stored parts displaced by a more
+                                   ///< general new part
+    uint64_t evictions = 0;           ///< capacity-eviction victims
+    uint64_t invalidation_drops = 0;  ///< parts dropped by invalidation
 
     // Index instrumentation (how a lookup narrowed its search), so
     // Figure-7-style experiments can attribute speedups.
-    uint64_t postings_scanned = 0;   // posting-list elements touched
-                                     // (index fan-out)
-    uint64_t candidate_entries = 0;  // entries actually considered
-    uint64_t signature_rejects = 0;  // candidates the signature filter cut
+    uint64_t postings_scanned = 0;   ///< posting-list elements touched
+                                     ///< (index fan-out)
+    uint64_t candidate_entries = 0;  ///< entries actually considered
+    uint64_t signature_rejects = 0;  ///< candidates the signature filter cut
 
     // Gauges sampled when stats_snapshot() is called.
-    uint64_t entries_live = 0;       // entries currently holding parts
-    uint64_t entries_allocated = 0;  // entry slots ever allocated (bounded
-                                     // by GC + free-list reuse)
-    uint64_t index_names = 0;        // distinct relation names indexed
+    uint64_t entries_live = 0;       ///< entries currently holding parts
+    uint64_t entries_allocated = 0;  ///< entry slots ever allocated (bounded
+                                     ///< by GC + free-list reuse)
+    uint64_t index_names = 0;        ///< distinct relation names indexed
   };
 
   explicit CaqpCache(size_t n_max,
@@ -98,8 +129,10 @@ class CaqpCache {
     ReaderMutexLock lock(&mu_);
     return live_;
   }
+  /// Capacity bound N_max fixed at construction.
   size_t n_max() const { return n_max_; }
 
+  /// Drops every stored part (used on database-wide invalidation).
   void Clear() ERQ_EXCLUDES(mu_);
 
   /// Drops every stored part whose relation set mentions `base_name`
@@ -117,6 +150,7 @@ class CaqpCache {
   /// individually accurate). The same counters are mirrored, aggregated
   /// across instances, into MetricsRegistry::Global() as `erq.caqp.*`.
   CacheStats stats_snapshot() const ERQ_EXCLUDES(mu_);
+  /// Zeroes every counter (gauges are recomputed on the next snapshot).
   void ResetStats();
 
   /// Human-readable description of the cache internals: occupancy, index
@@ -125,6 +159,12 @@ class CaqpCache {
 
   /// Copies of all live parts (tests / debugging).
   std::vector<AtomicQueryPart> Snapshot() const ERQ_EXCLUDES(mu_);
+
+  /// Installs (or, with nullptr, detaches) the mutation observer. The
+  /// caller owns `listener` and must keep it alive until it is detached
+  /// or the cache is destroyed; the swap itself takes the exclusive lock,
+  /// so no callback is in flight once SetChangeListener returns.
+  void SetChangeListener(ChangeListener* listener) ERQ_EXCLUDES(mu_);
 
  private:
   struct Item {
@@ -249,6 +289,7 @@ class CaqpCache {
   // is a subset of everything, so it is tracked separately.
   size_t empty_rel_entry_ ERQ_GUARDED_BY(mu_) = kNoEntry;
 
+  ChangeListener* listener_ ERQ_GUARDED_BY(mu_) = nullptr;
   size_t live_ ERQ_GUARDED_BY(mu_) = 0;
   size_t clock_hand_ ERQ_GUARDED_BY(mu_) = 0;
   // Global recency clock, bumped by lookups on hits: lock-free.

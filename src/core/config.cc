@@ -43,6 +43,7 @@ Status EmptyResultConfig::Validate() const {
       return Status::InvalidArgument(
           "EmptyResultConfig.invalidation is not a known InvalidationMode");
   }
+  ERQ_RETURN_IF_ERROR(persist.Validate());
   return Status::OK();
 }
 

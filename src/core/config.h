@@ -1,9 +1,13 @@
 #pragma once
 
+/// \file
+/// EmptyResultConfig and the enums behind its tuning knobs.
+
 #include <cstddef>
 
 #include "common/status.h"
 #include "expr/dnf.h"
+#include "persist/options.h"
 
 namespace erq {
 
@@ -34,7 +38,9 @@ struct EmptyResultConfig {
   /// Bounds for the exponential DNF rewriting step (§2.3, step 2).
   DnfOptions dnf;
 
+  /// Replacement policy when C_aqp is full (paper: clock).
   EvictionPolicy eviction = EvictionPolicy::kClock;
+  /// Update-invalidation scope (paper: drop everything).
   InvalidationMode invalidation = InvalidationMode::kDropTouched;
 
   /// Use the signature prefilter [31] when searching entries by relation
@@ -59,6 +65,11 @@ struct EmptyResultConfig {
   /// Record empty results of low-cost queries too (paper says don't; knob
   /// for experiments).
   bool record_low_cost = false;
+
+  /// Crash-safe persistence of C_aqp (snapshot + journal in
+  /// `persist.dir`); disabled while the directory is empty. See
+  /// DESIGN.md §7.
+  PersistOptions persist;
 
   /// Rejects configurations the pipeline cannot run meaningfully (zero
   /// n_max, negative/non-finite c_cost, zero DNF term budget, enum values

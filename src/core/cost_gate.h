@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// AdaptiveCostGate — data-driven tuning of the C_cost threshold (§2.2).
+
 #include <cstddef>
 #include <cstdint>
 
@@ -12,16 +15,17 @@ namespace erq {
 /// updates. Suggest() re-evaluates the break-even formula on the frozen
 /// components.
 struct CostGateSnapshot {
-  uint64_t executed = 0;       // observed executed queries
-  uint64_t detected = 0;       // observed detection hits
-  uint64_t empty_results = 0;  // executed queries that came back empty
-  uint64_t checks = 0;         // queries that paid a C_aqp check
+  uint64_t executed = 0;       ///< observed executed queries
+  uint64_t detected = 0;       ///< observed detection hits
+  uint64_t empty_results = 0;  ///< executed queries that came back empty
+  uint64_t checks = 0;         ///< queries that paid a C_aqp check
 
-  double average_check_seconds = 0.0;
-  double alpha_seconds_per_cost_unit = 0.0;  // exec_time(c) ~ alpha * c
-  double empty_fraction = 0.0;
-  double hit_fraction = 0.0;  // detections / (detections + empty results)
+  double average_check_seconds = 0.0;        ///< mean C_aqp check overhead
+  double alpha_seconds_per_cost_unit = 0.0;  ///< exec_time(c) ~ alpha * c
+  double empty_fraction = 0.0;               ///< empty results / executed
+  double hit_fraction = 0.0;  ///< detections / (detections + empty results)
 
+  /// Total observations backing the snapshot.
   uint64_t samples() const { return executed + detected; }
 
   /// The break-even C_cost estimate
@@ -70,10 +74,12 @@ class AdaptiveCostGate {
   double Suggest(double fallback = 0.0, uint64_t min_samples = 50) const;
 
   // --- Fitted components (exposed for tests / introspection) ---
+  /// Mean seconds per C_aqp check.
   double AverageCheckSeconds() const;
-  double AlphaSecondsPerCostUnit() const;  // exec_time(c) ~ alpha * c
+  double AlphaSecondsPerCostUnit() const;  ///< exec_time(c) ~ alpha * c
+  /// Fraction of executed queries that returned no rows.
   double EmptyFraction() const;
-  double HitFraction() const;  // detections / (detections + empty results)
+  double HitFraction() const;  ///< detections / (detections + empty results)
 
  private:
   uint64_t executed_ = 0;

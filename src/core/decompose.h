@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// §2.3 decomposition: executed empty plans → atomic query parts.
+
 #include <vector>
 
 #include "common/statusor.h"
@@ -23,10 +26,10 @@ std::vector<PhysOpPtr> FindLowestEmptyParts(const PhysOpPtr& root);
 StatusOr<std::vector<AtomicQueryPart>> DecomposeSimplifiedPart(
     const SimplifiedQueryPart& part, const DnfOptions& options);
 
-/// Convenience wrappers over SimplifyPhysicalPart / SimplifyLogicalPart +
-/// DecomposeSimplifiedPart.
+/// Convenience wrapper: SimplifyPhysicalPart + DecomposeSimplifiedPart.
 StatusOr<std::vector<AtomicQueryPart>> DecomposePhysicalPart(
     const PhysOpPtr& part, const DnfOptions& options);
+/// Convenience wrapper: SimplifyLogicalPart + DecomposeSimplifiedPart.
 StatusOr<std::vector<AtomicQueryPart>> DecomposeLogicalPart(
     const LogicalOpPtr& part, const DnfOptions& options);
 

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// EmptyResultDetector — check (§2.4), harvest (§2.3), prune (§2.5).
+
 #include <vector>
 
 #include "common/statusor.h"
@@ -57,8 +60,11 @@ class EmptyResultDetector {
   /// semantically equivalent on the current database.
   LogicalOpPtr PrunePlan(const LogicalOpPtr& root, size_t* pruned = nullptr);
 
+  /// The underlying C_aqp collection (mutable, internally synchronized).
   CaqpCache& cache() { return cache_; }
+  /// Read-only view of the underlying C_aqp collection.
   const CaqpCache& cache() const { return cache_; }
+  /// The configuration frozen at construction.
   const EmptyResultConfig& config() const { return config_; }
 
   /// Drops stored parts per the configured invalidation mode.

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Operation O1: explain *why* a query's result came back empty.
+
 #include <string>
 #include <vector>
 
@@ -22,6 +25,7 @@ struct EmptyResultExplanation {
   ///  out of 30000 scanned".
   std::vector<std::string> minimal_causes;
 
+  /// Annotated plan followed by the minimal causes, ready to print.
   std::string ToString() const;
 };
 

@@ -98,6 +98,20 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
       detector_(config),
       metrics_(ResolveInstruments()) {
   if (!init_status_.ok()) return;  // unusable: don't hook catalog events
+  if (config_.persist.enabled()) {
+    // Recover the previous process's C_aqp before any query runs; a
+    // recovery failure makes the manager unusable rather than silently
+    // running without durability.
+    StatusOr<std::unique_ptr<Persistence>> p =
+        Persistence::Open(config_.persist);
+    if (!p.ok()) {
+      init_status_ = p.status();
+      return;
+    }
+    persistence_ = std::move(*p);
+    init_status_ = persistence_->AttachCaqp(&detector_.cache());
+    if (!init_status_.ok()) return;
+  }
   catalog_->AddEventListener([this](const TableUpdateEvent& event) {
     if (stats_catalog_ != nullptr) stats_catalog_->Invalidate(event.table_name);
     switch (event.kind) {

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// EmptyResultManager — the end-to-end §2.2 workflow in one object.
+
 #include <memory>
 #include <optional>
 #include <string>
@@ -11,6 +14,7 @@
 #include "core/detector.h"
 #include "core/explain.h"
 #include "exec/executor.h"
+#include "persist/persistence.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
@@ -32,15 +36,15 @@ struct QueryOutcome {
   /// Query()/QueryStatement() call; the stage fields are disjoint
   /// sub-intervals of it.
   struct Timings {
-    double parse_seconds = 0.0;     // SQL text -> Statement (Query() only)
-    double plan_seconds = 0.0;      // Statement -> logical plan
-    double optimize_seconds = 0.0;  // logical -> physical (incl. re-opt
-                                    // after §2.5 pruning)
-    double gate_seconds = 0.0;      // C_cost threshold evaluation
-    double check_seconds = 0.0;     // decompose + C_aqp search + pruning
-    double execute_seconds = 0.0;   // plan execution
-    double record_seconds = 0.0;    // Operation O2 harvest + store
-    double total_seconds = 0.0;     // whole call, wall clock
+    double parse_seconds = 0.0;     ///< SQL text -> Statement (Query() only)
+    double plan_seconds = 0.0;      ///< Statement -> logical plan
+    double optimize_seconds = 0.0;  ///< logical -> physical (incl. re-opt
+                                    ///< after §2.5 pruning)
+    double gate_seconds = 0.0;      ///< C_cost threshold evaluation
+    double check_seconds = 0.0;     ///< decompose + C_aqp search + pruning
+    double execute_seconds = 0.0;   ///< plan execution
+    double record_seconds = 0.0;    ///< Operation O2 harvest + store
+    double total_seconds = 0.0;     ///< whole call, wall clock
 
     /// Sum of the stage fields; <= total_seconds up to inter-stage glue.
     double AccountedSeconds() const {
@@ -48,20 +52,21 @@ struct QueryOutcome {
              check_seconds + execute_seconds + record_seconds;
     }
 
+    /// One-line rendering of the stage timings.
     std::string ToString() const;
   };
 
-  bool detected_empty = false;  // skipped execution via C_aqp
-  bool executed = false;
-  bool result_empty = false;    // final result set was empty
-  size_t result_rows = 0;
-  size_t aqps_recorded = 0;     // atomic query parts stored after execution
-  size_t branches_pruned = 0;   // §2.5 partial detection: set-op branches
-                                // proven empty and removed before execution
-  double estimated_cost = 0.0;
-  bool high_cost = false;       // estimated_cost > C_cost
+  bool detected_empty = false;  ///< skipped execution via C_aqp
+  bool executed = false;        ///< the plan actually ran
+  bool result_empty = false;    ///< final result set was empty
+  size_t result_rows = 0;       ///< rows returned (0 when skipped)
+  size_t aqps_recorded = 0;     ///< atomic query parts stored after execution
+  size_t branches_pruned = 0;   ///< §2.5 partial detection: set-op branches
+                                ///< proven empty and removed before execution
+  double estimated_cost = 0.0;  ///< optimizer cost estimate for the plan
+  bool high_cost = false;       ///< estimated_cost > C_cost
 
-  ExecutionResult result;  // rows (empty when detected_empty)
+  ExecutionResult result;  ///< rows (empty when detected_empty)
 
   /// The physical plan (post-pruning when §2.5 fired). After execution its
   /// nodes carry actual output cardinalities; after a detection hit they
@@ -69,7 +74,7 @@ struct QueryOutcome {
   /// `plan_text` field call plan->ToString().
   PhysOpPtr plan;
 
-  Timings timings;
+  Timings timings;  ///< per-stage wall-clock breakdown of this call
 
   /// Operation O1, structured: present exactly when the result is empty.
   /// For executed-empty results this is ExplainEmptyResult's annotated
@@ -84,14 +89,16 @@ struct QueryOutcome {
 
 /// Aggregate counters across a query stream.
 struct ManagerStats {
-  uint64_t queries = 0;
-  uint64_t low_cost = 0;
-  uint64_t checks = 0;
-  uint64_t detected_empty = 0;
-  uint64_t executed = 0;
-  uint64_t empty_results = 0;   // executed and came back empty
-  uint64_t recorded = 0;        // executions harvested into C_aqp
-  uint64_t branches_pruned = 0;
+  uint64_t queries = 0;         ///< Query()/QueryStatement() calls
+  uint64_t low_cost = 0;        ///< queries below the C_cost gate
+  uint64_t checks = 0;          ///< queries that paid a C_aqp check
+  uint64_t detected_empty = 0;  ///< detection hits (execution skipped)
+  uint64_t executed = 0;        ///< plans actually executed
+  uint64_t empty_results = 0;   ///< executed and came back empty
+  uint64_t recorded = 0;        ///< executions harvested into C_aqp
+  uint64_t branches_pruned = 0;  ///< §2.5 set-op branches removed
+  /// Execution seconds avoided by detection hits, estimated from the
+  /// adaptive gate's exec_time(c) ~ alpha * c fit.
   double execute_seconds_saved_estimate = 0.0;
 };
 
@@ -119,11 +126,16 @@ struct ManagerStats {
 /// *mutations* must be synchronized by the caller.
 class EmptyResultManager {
  public:
+  /// Builds the pipeline over `catalog` + `stats` (both borrowed; must
+  /// outlive the manager). When `config.persist` is enabled the ctor also
+  /// recovers the previous process's C_aqp — see init_status().
   EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
                      EmptyResultConfig config = {},
                      OptimizerOptions optimizer_options = {});
 
-  /// Result of EmptyResultConfig::Validate() from construction time.
+  /// Construction-time health: EmptyResultConfig::Validate() combined
+  /// with persistence recovery (when config.persist is enabled). On a
+  /// non-OK status every entry point returns this error.
   const Status& init_status() const { return init_status_; }
 
   /// Full workflow for a SQL string.
@@ -135,6 +147,7 @@ class EmptyResultManager {
   /// Plans and optimizes without the detection workflow (for tools/tests).
   StatusOr<PhysOpPtr> Prepare(const std::string& sql);
 
+  /// The detection engine (and, through it, the C_aqp collection).
   EmptyResultDetector& detector() { return detector_; }
 
   /// Value-type snapshot of the aggregate counters, taken under the lock.
@@ -153,6 +166,7 @@ class EmptyResultManager {
   /// The threshold currently in force (config.c_cost, or the adaptive
   /// suggestion when auto-tuning is enabled and warmed up).
   double EffectiveCostThreshold() const ERQ_EXCLUDES(mu_);
+  /// Zeroes the aggregate counters (the cost-gate model keeps learning).
   void ResetStats() {
     MutexLock lock(&mu_);
     stats_ = ManagerStats{};
@@ -160,6 +174,11 @@ class EmptyResultManager {
 
   /// Invalidation hook (also wired to catalog update notifications).
   void OnTableUpdated(const std::string& table_name);
+
+  /// The durability engine, or nullptr when config.persist is disabled.
+  /// Exposed for flush-on-demand and inspection (persistence()->status()
+  /// reports sticky IO errors; the manager keeps serving from memory).
+  Persistence* persistence() { return persistence_.get(); }
 
  private:
   /// Manager instruments, resolved once at construction (see metrics.h).
@@ -186,11 +205,14 @@ class EmptyResultManager {
   Catalog* catalog_;
   StatsCatalog* stats_catalog_;
   const EmptyResultConfig config_;
-  const Status init_status_;
+  Status init_status_;
   Planner planner_;
   Optimizer optimizer_;
   EmptyResultDetector detector_;
   const Instruments metrics_;
+  /// Declared after detector_ so it is destroyed first: the destructor
+  /// detaches from the still-alive cache and flushes the journal.
+  std::unique_ptr<Persistence> persistence_;
 
   mutable Mutex mu_;
   AdaptiveCostGate cost_gate_ ERQ_GUARDED_BY(mu_);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace erq {
@@ -236,6 +237,11 @@ std::string SerializeCache(const CaqpCache& cache, size_t* skipped_opaque) {
     out += *line;
     out += '\n';
   }
+  // Surface the skip count even when the caller passes no out-param —
+  // silently dropping parts from a dump was invisible before this counter.
+  static Counter* skipped_counter =
+      MetricsRegistry::Global().GetCounter("erq.serialize.skipped_opaque");
+  if (skipped > 0) skipped_counter->Increment(skipped);
   if (skipped_opaque != nullptr) *skipped_opaque = skipped;
   return out;
 }

@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Text (de)serialization of C_aqp contents (the `\save`/`\load` format).
+
 #include <string>
 #include <vector>
 
@@ -33,8 +36,9 @@ std::string SerializeCache(const CaqpCache& cache,
 /// that point on.
 StatusOr<size_t> DeserializeInto(const std::string& text, CaqpCache* cache);
 
-/// Round-trip helpers for single parts (used by tests and tools).
+/// Serializes a single part to one line (fails on opaque terms).
 StatusOr<std::string> SerializePart(const AtomicQueryPart& part);
+/// Parses one serialized line back into a part.
 StatusOr<AtomicQueryPart> ParsePart(const std::string& line);
 
 }  // namespace erq

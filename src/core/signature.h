@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// Superimposed-coding signatures [31] — the C_aqp entry prefilter.
+
 #include <cstdint>
 
 #include "core/atomic_query_part.h"
@@ -17,8 +20,10 @@ class RelationSignature {
  public:
   RelationSignature() = default;
 
+  /// Computes the signature of `relations` (k bits set per name).
   static RelationSignature Of(const RelationSet& relations);
 
+  /// The raw 64-bit signature word.
   uint64_t bits() const { return bits_; }
 
   /// Necessary condition for "this set ⊆ other set".

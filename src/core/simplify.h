@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// §2.3 step 1: T1–T3 plan simplification into SimplifiedQueryPart.
+
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +29,7 @@ struct SimplifiedQueryPart {
   /// All selection/join conditions, with qualified column references.
   std::vector<ExprPtr> conjuncts;
 
+  /// Debug rendering: sigma[conjuncts](scan x scan x ...).
   std::string ToString() const;
 };
 

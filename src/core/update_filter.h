@@ -1,5 +1,8 @@
 #pragma once
 
+/// \file
+/// §5 irrelevant-update filter: which updates can un-empty a stored part?
+
 #include <string>
 #include <vector>
 

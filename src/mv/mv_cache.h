@@ -4,6 +4,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
@@ -31,6 +32,21 @@ namespace erq {
 /// and statistics.
 class MvEmptyCache {
  public:
+  /// Observer of view-set mutations, used by the persistence layer to
+  /// journal the baseline cache alongside C_aqp. Callbacks run under the
+  /// cache mutex in mutation order (evictions before the store that
+  /// triggered them) and must not call back into the cache.
+  class ChangeListener {
+   public:
+    virtual ~ChangeListener() = default;
+    /// Fingerprint `fp` entered the cache.
+    virtual void OnStore(const std::string& fp) = 0;
+    /// Fingerprint `fp` was evicted (LRU capacity).
+    virtual void OnEvict(const std::string& fp) = 0;
+    /// The cache was cleared wholesale (no per-view OnEvict calls).
+    virtual void OnClear() = 0;
+  };
+
   explicit MvEmptyCache(size_t max_views) : max_views_(max_views) {}
 
   struct MvStats {
@@ -60,6 +76,26 @@ class MvEmptyCache {
     return stats_;
   }
 
+  /// Installs (or, with nullptr, detaches) the mutation observer. The
+  /// caller owns `listener`; the swap takes the mutex, so no callback is
+  /// in flight once SetChangeListener returns.
+  void SetChangeListener(ChangeListener* listener) {
+    MutexLock lock(&mu_);
+    listener_ = listener;
+  }
+
+  /// Recovery-only: re-inserts a fingerprint persisted by a previous
+  /// process without touching statistics or notifying the listener. The
+  /// caller feeds fingerprints oldest-first so LRU order is rebuilt;
+  /// over-capacity restores evict silently.
+  void RestoreFingerprint(const std::string& fp);
+
+  /// Stored fingerprints, oldest first (recovery and tests).
+  std::vector<std::string> Fingerprints() const {
+    MutexLock lock(&mu_);
+    return std::vector<std::string>(lru_.rbegin(), lru_.rend());
+  }
+
  private:
   /// Canonical fingerprint of the whole query (relations + normalized
   /// predicate + projection list + shape). Empty string when the plan
@@ -73,6 +109,7 @@ class MvEmptyCache {
   std::unordered_map<std::string, std::list<std::string>::iterator> keys_
       ERQ_GUARDED_BY(mu_);
   MvStats stats_ ERQ_GUARDED_BY(mu_);
+  ChangeListener* listener_ ERQ_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace erq

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to frame
+/// every persisted record so recovery can distinguish a torn tail from
+/// valid data (DESIGN.md §7).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace erq {
+
+/// CRC-32 of `data`. `seed` chains multi-buffer computations: pass the
+/// previous call's result to continue a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Convenience overload for string payloads.
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace erq

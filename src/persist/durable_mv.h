@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file
+/// Header-only glue making the MV-baseline cache durable through an
+/// existing Persistence object. Kept out of the persist .cc files so the
+/// persistence library has no link-time dependency on the mv module.
+
+#include <string>
+
+#include "mv/mv_cache.h"
+#include "persist/persistence.h"
+
+namespace erq {
+
+/// RAII adapter: on construction restores the recovered fingerprints into
+/// `cache` (oldest first, rebuilding LRU order) and starts journaling its
+/// mutations; on destruction detaches. Construct after Persistence::Open
+/// and destroy before the Persistence object; `cache` must outlive the
+/// adapter.
+class DurableMv : public MvEmptyCache::ChangeListener {
+ public:
+  DurableMv(Persistence* persistence, MvEmptyCache* cache)
+      : persistence_(persistence), cache_(cache) {
+    for (const std::string& fp : persistence_->recovered().mv_fingerprints) {
+      cache_->RestoreFingerprint(fp);
+    }
+    // Re-base the durable mirror on what the cache actually kept (a
+    // smaller max_views than the previous run's drops the oldest views).
+    persistence_->InitMvMirror(cache_->Fingerprints());
+    cache_->SetChangeListener(this);
+  }
+
+  ~DurableMv() override { cache_->SetChangeListener(nullptr); }
+
+  DurableMv(const DurableMv&) = delete;
+  DurableMv& operator=(const DurableMv&) = delete;
+
+  /// MvEmptyCache::ChangeListener — runs under the cache mutex.
+  void OnStore(const std::string& fp) override {
+    persistence_->JournalMvStore(fp);
+  }
+  /// Journals an LRU eviction of `fp`.
+  void OnEvict(const std::string& fp) override {
+    persistence_->JournalMvRemove(fp);
+  }
+  /// Journals a wholesale clear.
+  void OnClear() override { persistence_->JournalMvClear(); }
+
+ private:
+  Persistence* persistence_;
+  MvEmptyCache* cache_;
+};
+
+}  // namespace erq

@@ -1,0 +1,76 @@
+#include "persist/failpoint.h"
+
+namespace erq {
+
+FailPoint& FailPoint::Global() {
+  static FailPoint* instance = new FailPoint();
+  return *instance;
+}
+
+void FailPoint::Arm(const std::string& name, uint64_t fail_at) {
+  MutexLock lock(&mu_);
+  Point& p = points_[name];
+  p.armed = true;
+  p.fail_at = p.hits + fail_at;
+  active_.store(1, std::memory_order_relaxed);
+}
+
+void FailPoint::Disarm(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto it = points_.find(name);
+  if (it != points_.end()) it->second.armed = false;
+  bool any_armed = false;
+  for (const auto& [unused, p] : points_) any_armed |= p.armed;
+  active_.store(any_armed || counting_ ? 1 : 0, std::memory_order_relaxed);
+}
+
+void FailPoint::Reset() {
+  MutexLock lock(&mu_);
+  points_.clear();
+  counting_ = false;
+  active_.store(0, std::memory_order_relaxed);
+  sticky_.store(false, std::memory_order_relaxed);
+}
+
+void FailPoint::SetCounting(bool on) {
+  MutexLock lock(&mu_);
+  counting_ = on;
+  bool any_armed = false;
+  for (const auto& [unused, p] : points_) any_armed |= p.armed;
+  active_.store(any_armed || counting_ ? 1 : 0, std::memory_order_relaxed);
+}
+
+uint64_t FailPoint::Hits(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailPoint::Names() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, p] : points_) {
+    if (p.hits > 0) out.push_back(name);
+  }
+  return out;
+}
+
+bool FailPoint::ShouldFail(const std::string& name) {
+  if (sticky_.load(std::memory_order_relaxed)) return true;
+  MutexLock lock(&mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    if (!counting_) return false;
+    it = points_.emplace(name, Point{}).first;
+  }
+  Point& p = it->second;
+  uint64_t hit = p.hits++;
+  if (p.armed && hit == p.fail_at) {
+    sticky_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace erq

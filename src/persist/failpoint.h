@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file
+/// Fault-injection seam for the persistence layer. Always compiled in
+/// (the production cost is one relaxed atomic load per IO boundary when
+/// nothing is armed); tests arm named points to simulate a crash at
+/// every write boundary and prove recovery invariants (DESIGN.md §7).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace erq {
+
+/// Process-wide registry of named crash points (the `erq::FailPoint`
+/// seam). The persistence code
+/// asks `ShouldFail(name)` at each IO boundary; a test arms `name` to
+/// fire on its k-th hit. Once any armed point fires, the registry turns
+/// *sticky*: every subsequent ShouldFail — any name — returns true,
+/// modeling a dead process whose IO never succeeds again, until Reset().
+///
+/// Counting mode (`SetCounting(true)`) records a hit count for every
+/// boundary crossed even when unarmed, so a test can census how many
+/// crash points one workload passes through and then iterate over them.
+///
+/// Thread safety: fully synchronized; the unarmed fast path is a single
+/// relaxed atomic load.
+class FailPoint {
+ public:
+  /// The registry the persistence layer consults.
+  static FailPoint& Global();
+
+  /// Arms `name` to fire on its `fail_at`-th hit (0-based) from now.
+  void Arm(const std::string& name, uint64_t fail_at) ERQ_EXCLUDES(mu_);
+
+  /// Removes the arming for `name` (hit counters survive).
+  void Disarm(const std::string& name) ERQ_EXCLUDES(mu_);
+
+  /// Disarms everything, zeroes counters, clears the sticky-failure flag
+  /// and leaves counting mode off.
+  void Reset() ERQ_EXCLUDES(mu_);
+
+  /// Count hits for every name (not just armed ones) until Reset().
+  void SetCounting(bool on) ERQ_EXCLUDES(mu_);
+
+  /// Hits recorded for `name` since the last Reset().
+  uint64_t Hits(const std::string& name) const ERQ_EXCLUDES(mu_);
+
+  /// Every name that recorded at least one hit since the last Reset().
+  std::vector<std::string> Names() const ERQ_EXCLUDES(mu_);
+
+  /// True if the caller must simulate a crash at this boundary. Counts
+  /// the hit when armed or counting.
+  bool ShouldFail(const std::string& name) ERQ_EXCLUDES(mu_);
+
+  /// True once an armed point has fired (and until Reset()).
+  bool failed() const { return sticky_.load(std::memory_order_relaxed); }
+
+  /// True when any point is armed or counting is on — callers use this
+  /// to skip building failpoint name strings on hot paths.
+  bool active() const { return active_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  struct Point {
+    bool armed = false;
+    uint64_t fail_at = 0;
+    uint64_t hits = 0;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Point> points_ ERQ_GUARDED_BY(mu_);
+  bool counting_ ERQ_GUARDED_BY(mu_) = false;
+  std::atomic<int> active_{0};
+  std::atomic<bool> sticky_{false};
+};
+
+/// True when the persistence code should simulate a crash at boundary
+/// `name`. The wrapper keeps call sites one line and skips all work when
+/// the registry is idle.
+inline bool FailPointShouldFail(const std::string& name) {
+  FailPoint& fp = FailPoint::Global();
+  if (!fp.active() && !fp.failed()) return false;
+  return fp.ShouldFail(name);
+}
+
+}  // namespace erq

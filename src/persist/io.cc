@@ -1,0 +1,238 @@
+#include "persist/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "persist/failpoint.h"
+
+namespace erq {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+Status Crash(const std::string& seam) {
+  return Status::IoError("simulated crash at " + seam);
+}
+
+// Writes all of `data` to `fd`, retrying short writes and EINTR.
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() { Close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_),
+      size_bytes_(other.size_bytes_),
+      path_(std::move(other.path_)),
+      seam_prefix_(std::move(other.seam_prefix_)) {
+  other.fd_ = -1;
+  other.size_bytes_ = 0;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    size_bytes_ = other.size_bytes_;
+    path_ = std::move(other.path_);
+    seam_prefix_ = std::move(other.seam_prefix_);
+    other.fd_ = -1;
+    other.size_bytes_ = 0;
+  }
+  return *this;
+}
+
+Status AppendFile::Open(const std::string& path, bool truncate,
+                        std::string seam_prefix) {
+  Close();
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return Errno("fstat", path);
+  }
+  fd_ = fd;
+  size_bytes_ = static_cast<uint64_t>(st.st_size);
+  path_ = path;
+  seam_prefix_ = std::move(seam_prefix);
+  return Status::OK();
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::Internal("append on closed file " + path_);
+  if (FailPointShouldFail(seam_prefix_ + ".before")) {
+    return Crash(seam_prefix_ + ".before");
+  }
+  if (FailPointShouldFail(seam_prefix_ + ".torn")) {
+    // Simulate a torn write: half the bytes reach the file, then the
+    // process dies.
+    size_t half = data.size() / 2;
+    if (half > 0) {
+      Status s = WriteFully(fd_, data.data(), half, path_);
+      if (s.ok()) size_bytes_ += half;
+    }
+    return Crash(seam_prefix_ + ".torn");
+  }
+  ERQ_RETURN_IF_ERROR(WriteFully(fd_, data.data(), data.size(), path_));
+  size_bytes_ += data.size();
+  if (FailPointShouldFail(seam_prefix_ + ".after")) {
+    return Crash(seam_prefix_ + ".after");
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::Internal("sync on closed file " + path_);
+  if (FailPointShouldFail(seam_prefix_ + ".sync")) {
+    return Crash(seam_prefix_ + ".sync");
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IoError("not a directory: " + path);
+  }
+  return Errno("mkdir", path);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Errno("fsync dir", dir);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const std::string& seam_prefix) {
+  const std::string tmp = path + ".tmp";
+  if (FailPointShouldFail(seam_prefix + ".write")) {
+    // Simulate dying mid-write of the temp file: leave a truncated tmp
+    // behind; `path` itself is untouched.
+    AppendFile f;
+    Status s = f.Open(tmp, /*truncate=*/true, seam_prefix + ".noop");
+    if (s.ok()) {
+      (void)f.Append(contents.substr(0, contents.size() / 2));
+    }
+    return Crash(seam_prefix + ".write");
+  }
+  {
+    AppendFile f;
+    ERQ_RETURN_IF_ERROR(f.Open(tmp, /*truncate=*/true, seam_prefix + ".tmp"));
+    ERQ_RETURN_IF_ERROR(f.Append(contents));
+    if (FailPointShouldFail(seam_prefix + ".sync")) {
+      return Crash(seam_prefix + ".sync");
+    }
+    ERQ_RETURN_IF_ERROR(f.Sync());
+  }
+  if (FailPointShouldFail(seam_prefix + ".rename")) {
+    return Crash(seam_prefix + ".rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", tmp);
+  if (FailPointShouldFail(seam_prefix + ".dirsync")) {
+    return Crash(seam_prefix + ".dirsync");
+  }
+  std::string dir = ".";
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  return SyncDir(dir);
+}
+
+Status TruncateFileTo(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Errno("fsync", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Errno("unlink", path);
+}
+
+}  // namespace erq

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file
+/// Thin POSIX file-IO primitives for the persistence layer: an
+/// append-only file handle, whole-file reads, atomic replace-by-rename,
+/// and tail truncation. Every write boundary passes through a named
+/// `erq::FailPoint` seam so tests can simulate a crash at each one
+/// (DESIGN.md §7).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace erq {
+
+/// An append-only file descriptor wrapper. Move-only; the destructor
+/// closes (without syncing). All methods consult the failpoint seams
+/// `<seam_prefix>.before`, `<seam_prefix>.torn`, `<seam_prefix>.after`
+/// (Append) and `<seam_prefix>.sync` (Sync), where `seam_prefix` is the
+/// value passed to Open.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens `path` for appending, creating it if missing; `truncate`
+  /// discards existing content. `seam_prefix` names this file's
+  /// failpoint boundaries (e.g. "persist.journal.append").
+  Status Open(const std::string& path, bool truncate,
+              std::string seam_prefix);
+
+  /// Appends `data` verbatim. A fired `.torn` seam writes only a prefix
+  /// of `data` before failing — simulating a torn write.
+  Status Append(std::string_view data);
+
+  /// fsync()s the descriptor.
+  Status Sync();
+
+  /// Closes the descriptor (no sync). Safe to call twice.
+  void Close();
+
+  /// True while a descriptor is open.
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Bytes successfully appended since Open (resumed from the existing
+  /// file size when opened without `truncate`).
+  uint64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t size_bytes_ = 0;
+  std::string path_;
+  std::string seam_prefix_;
+};
+
+/// Reads all of `path`. NotFound if the file does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Creates directory `path` if missing (single level, not mkdir -p).
+Status CreateDirIfMissing(const std::string& path);
+
+/// fsync()s the directory containing `path`, making a rename within it
+/// durable.
+Status SyncDir(const std::string& dir);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp, fsyncs
+/// it, rename()s over `path`, then fsyncs the directory. Crash seams:
+/// `<seam_prefix>.write`, `<seam_prefix>.sync`, `<seam_prefix>.rename`,
+/// `<seam_prefix>.dirsync`. A crash at any seam leaves either the old
+/// complete file or the new complete file at `path` — never a mix.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const std::string& seam_prefix);
+
+/// Truncates `path` to `size` bytes and fsyncs it — used to drop a torn
+/// journal tail during recovery.
+Status TruncateFileTo(const std::string& path, uint64_t size);
+
+/// Removes `path` if it exists; OK when the file was already absent.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace erq

@@ -1,0 +1,135 @@
+#include "persist/journal.h"
+
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace erq {
+
+namespace {
+
+/// Instruments owned by the journal. `journal_bytes` is a gauge of the
+/// current file size; the counters are process-lifetime totals.
+struct JournalMetrics {
+  Counter* journal_appends;
+  Counter* fsyncs;
+  Gauge* journal_bytes;
+
+  static const JournalMetrics& Get() {
+    static const JournalMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return JournalMetrics{
+          r.GetCounter("erq.persist.journal_appends"),
+          r.GetCounter("erq.persist.fsyncs"),
+          r.GetGauge("erq.persist.journal_bytes"),
+      };
+    }();
+    return m;
+  }
+};
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JournalPath(const std::string& dir) {
+  return dir + "/" + kJournalFileName;
+}
+
+}  // namespace
+
+Status JournalWriter::Open(const std::string& dir, bool truncate,
+                           const PersistOptions& options) {
+  options_ = options;
+  appends_since_sync_ = 0;
+  appended_records_ = 0;
+  last_sync_nanos_ = SteadyNowNanos();
+  ERQ_RETURN_IF_ERROR(
+      file_.Open(JournalPath(dir), truncate, "persist.journal.append"));
+  if (file_.size_bytes() == 0) {
+    std::string header;
+    AppendRecord(RecordType::kFileHeader, kJournalHeaderPayload, &header);
+    ERQ_RETURN_IF_ERROR(file_.Append(header));
+    ERQ_RETURN_IF_ERROR(file_.Sync());
+    JournalMetrics::Get().fsyncs->Increment();
+  }
+  JournalMetrics::Get().journal_bytes->Set(
+      static_cast<int64_t>(file_.size_bytes()));
+  return Status::OK();
+}
+
+Status JournalWriter::Append(RecordType type, std::string_view payload) {
+  std::string framed;
+  AppendRecord(type, payload, &framed);
+  ERQ_RETURN_IF_ERROR(file_.Append(framed));
+  ++appended_records_;
+  ++appends_since_sync_;
+  const JournalMetrics& m = JournalMetrics::Get();
+  m.journal_appends->Increment();
+  m.journal_bytes->Set(static_cast<int64_t>(file_.size_bytes()));
+  return MaybeSyncAfterAppend();
+}
+
+Status JournalWriter::MaybeSyncAfterAppend() {
+  bool want_sync = false;
+  if (options_.fsync_every_n > 0 &&
+      appends_since_sync_ >= options_.fsync_every_n) {
+    want_sync = true;
+  }
+  if (!want_sync && options_.fsync_interval_ms > 0) {
+    const int64_t elapsed_ms =
+        (SteadyNowNanos() - last_sync_nanos_) / 1000000;
+    if (elapsed_ms >= options_.fsync_interval_ms) want_sync = true;
+  }
+  if (!want_sync) return Status::OK();
+  return Sync();
+}
+
+Status JournalWriter::Sync() {
+  ERQ_RETURN_IF_ERROR(file_.Sync());
+  appends_since_sync_ = 0;
+  last_sync_nanos_ = SteadyNowNanos();
+  JournalMetrics::Get().fsyncs->Increment();
+  return Status::OK();
+}
+
+void JournalWriter::Close() { file_.Close(); }
+
+StatusOr<JournalScan> ScanJournal(const std::string& dir) {
+  JournalScan scan;
+  const std::string path = JournalPath(dir);
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) {
+      scan.missing = true;
+      return scan;
+    }
+    return contents.status();
+  }
+  const std::string& data = contents.value();
+  size_t offset = 0;
+  Record rec;
+  for (;;) {
+    RecordParse r = ParseRecord(data, &offset, &rec);
+    if (r == RecordParse::kEof) break;
+    if (r == RecordParse::kTorn) {
+      scan.truncated_bytes = data.size() - offset;
+      break;
+    }
+    if (scan.records.empty()) {
+      // The first valid record of a journal must be its header; a valid
+      // record of any other kind means this is not a journal file.
+      if (rec.type != RecordType::kFileHeader ||
+          rec.payload != kJournalHeaderPayload) {
+        return Status::IoError("not a journal file: " + path);
+      }
+    }
+    scan.records.push_back(std::move(rec));
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+}  // namespace erq

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file
+/// Append-only journal of cache mutations (`journal.erq`). Each append
+/// is one framed record (persist/record.h); a configurable fsync policy
+/// bounds how much acknowledged data a real power loss could lose.
+/// Recovery scans the journal and truncates the torn tail at the first
+/// invalid record instead of failing (DESIGN.md §7).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/io.h"
+#include "persist/options.h"
+#include "persist/record.h"
+
+namespace erq {
+
+/// File name of the journal inside the persist directory.
+inline constexpr char kJournalFileName[] = "journal.erq";
+
+/// Header payload identifying a journal file and its format version.
+inline constexpr char kJournalHeaderPayload[] = "erq-journal-v1";
+
+/// Writer half of the journal. Not thread-safe; the owning Persistence
+/// object serializes access. Appends update `erq.persist.journal_appends`
+/// / `erq.persist.fsyncs` / `erq.persist.journal_bytes`.
+class JournalWriter {
+ public:
+  /// Opens `dir`/journal.erq. `truncate` starts a fresh journal (writing
+  /// a new header record); otherwise appends after existing content —
+  /// the caller must have truncated any torn tail first, and a header is
+  /// written only when the file is empty.
+  Status Open(const std::string& dir, bool truncate,
+              const PersistOptions& options);
+
+  /// Appends one framed record and applies the fsync policy. On error
+  /// the journal must be considered broken (the caller stops journaling;
+  /// the on-disk prefix up to the last good record remains recoverable).
+  Status Append(RecordType type, std::string_view payload);
+
+  /// Forces an fsync of everything appended so far.
+  Status Sync();
+
+  /// Closes the file without syncing.
+  void Close();
+
+  /// True while the journal file is open.
+  bool is_open() const { return file_.is_open(); }
+
+  /// Current journal file size in bytes (drives snapshot rotation).
+  uint64_t size_bytes() const { return file_.size_bytes(); }
+
+  /// Records appended through this writer since Open.
+  uint64_t appended_records() const { return appended_records_; }
+
+ private:
+  Status MaybeSyncAfterAppend();
+
+  AppendFile file_;
+  PersistOptions options_;
+  uint64_t appends_since_sync_ = 0;
+  /// steady-clock nanos of the last applied fsync (interval policy).
+  int64_t last_sync_nanos_ = 0;
+  uint64_t appended_records_ = 0;
+};
+
+/// Result of scanning a journal file during recovery.
+struct JournalScan {
+  /// All valid records in file order, including the header.
+  std::vector<Record> records;
+  /// Bytes of the valid prefix (truncation target when a tail is torn).
+  uint64_t valid_bytes = 0;
+  /// Bytes past the valid prefix (0 for a clean file).
+  uint64_t truncated_bytes = 0;
+  /// True when the file does not exist at all.
+  bool missing = false;
+};
+
+/// Reads `dir`/journal.erq, validating record-by-record and stopping at
+/// the first torn/invalid record. Never fails on torn data — the scan
+/// reports where the valid prefix ends; the caller truncates. Fails only
+/// on real IO errors or a file whose very first record is not a valid
+/// journal header.
+StatusOr<JournalScan> ScanJournal(const std::string& dir);
+
+}  // namespace erq

@@ -1,0 +1,20 @@
+#include "persist/options.h"
+
+namespace erq {
+
+Status PersistOptions::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (snapshot_journal_bytes == 0) {
+    return Status::InvalidArgument(
+        "PersistOptions.snapshot_journal_bytes must be positive: a zero "
+        "threshold would rotate the snapshot on every journal append");
+  }
+  if (fsync_interval_ms < 0) {
+    return Status::InvalidArgument(
+        "PersistOptions.fsync_interval_ms must be non-negative (0 turns "
+        "time-based fsync off)");
+  }
+  return Status::OK();
+}
+
+}  // namespace erq

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file
+/// Configuration for the durability subsystem (see DESIGN.md §7
+/// "Persistence & recovery"). Lives in its own header so
+/// core/config.h can embed it without pulling in any persistence
+/// machinery.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace erq {
+
+/// Tuning knobs of the crash-safe C_aqp persistence layer. Embedded in
+/// EmptyResultConfig as `persist`; an empty `dir` disables persistence
+/// entirely (the paper's in-memory-only behavior).
+struct PersistOptions {
+  /// Directory holding `snapshot.erq` and `journal.erq`. Created on
+  /// first use if missing. Empty string = persistence disabled.
+  std::string dir;
+
+  /// Fsync the journal after every N appended records. 0 disables
+  /// count-based fsync. The default (1) makes every acknowledged record
+  /// durable — the strongest setting, and the one the fault-injection
+  /// suite assumes when it speaks of "durably-acked" entries.
+  size_t fsync_every_n = 1;
+
+  /// Fsync the journal when more than this many milliseconds have passed
+  /// since the last sync and unsynced records exist. Checked on each
+  /// append (there is no background flusher thread; EmptyResultManager's
+  /// destructor performs the final flush). 0 disables time-based fsync.
+  /// With both knobs 0 the journal is never fsynced explicitly — the
+  /// "off" policy: cheapest, loses the page-cache tail on power failure.
+  int64_t fsync_interval_ms = 0;
+
+  /// Rotate (write a fresh snapshot atomically and reset the journal)
+  /// when the journal grows past this many bytes. Must be positive.
+  size_t snapshot_journal_bytes = 4u << 20;
+
+  /// True when persistence is configured (a directory was given).
+  bool enabled() const { return !dir.empty(); }
+
+  /// Rejects nonsensical settings (zero rotation threshold, negative
+  /// fsync interval). Called from EmptyResultConfig::Validate().
+  Status Validate() const;
+};
+
+}  // namespace erq

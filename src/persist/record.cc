@@ -1,0 +1,71 @@
+#include "persist/record.h"
+
+#include <cstring>
+
+#include "persist/crc32.h"
+
+namespace erq {
+
+namespace {
+
+// magic(4) + type(1) + payload_len(4).
+constexpr size_t kFrameHeaderSize = 9;
+constexpr size_t kCrcSize = 4;
+
+void AppendU32Le(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+uint32_t ReadU32Le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+bool IsKnownRecordType(uint8_t type) {
+  return type >= static_cast<uint8_t>(RecordType::kFileHeader) &&
+         type <= static_cast<uint8_t>(RecordType::kSnapshotFooter);
+}
+
+void AppendRecord(RecordType type, std::string_view payload,
+                  std::string* out) {
+  const size_t body_start = out->size() + sizeof(uint32_t);
+  AppendU32Le(kRecordMagic, out);
+  out->push_back(static_cast<char>(type));
+  AppendU32Le(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+  const uint32_t crc =
+      Crc32(out->data() + body_start, out->size() - body_start);
+  AppendU32Le(crc, out);
+}
+
+RecordParse ParseRecord(std::string_view data, size_t* offset, Record* out) {
+  const size_t pos = *offset;
+  if (pos == data.size()) return RecordParse::kEof;
+  if (data.size() - pos < kFrameHeaderSize + kCrcSize) {
+    return RecordParse::kTorn;
+  }
+  if (ReadU32Le(data.data() + pos) != kRecordMagic) return RecordParse::kTorn;
+  const uint8_t type = static_cast<uint8_t>(data[pos + 4]);
+  const uint32_t payload_len = ReadU32Le(data.data() + pos + 5);
+  const size_t remaining = data.size() - pos - kFrameHeaderSize;
+  if (payload_len > remaining - kCrcSize) return RecordParse::kTorn;
+  const char* body = data.data() + pos + sizeof(uint32_t);
+  const size_t body_len = 1 + sizeof(uint32_t) + payload_len;
+  const uint32_t stored_crc =
+      ReadU32Le(data.data() + pos + kFrameHeaderSize + payload_len);
+  if (Crc32(body, body_len) != stored_crc) return RecordParse::kTorn;
+  if (!IsKnownRecordType(type)) return RecordParse::kTorn;
+  out->type = static_cast<RecordType>(type);
+  out->payload.assign(data.data() + pos + kFrameHeaderSize, payload_len);
+  *offset = pos + kFrameHeaderSize + payload_len + kCrcSize;
+  return RecordParse::kOk;
+}
+
+}  // namespace erq

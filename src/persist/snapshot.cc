@@ -1,0 +1,89 @@
+#include "persist/snapshot.h"
+
+#include <charconv>
+
+#include "persist/io.h"
+
+namespace erq {
+
+namespace {
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/" + kSnapshotFileName;
+}
+
+bool ParseFooterCount(const std::string& s, uint64_t* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end && !s.empty();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& dir,
+                     const std::vector<Record>& body) {
+  std::string blob;
+  AppendRecord(RecordType::kFileHeader, kSnapshotHeaderPayload, &blob);
+  for (const Record& rec : body) {
+    AppendRecord(rec.type, rec.payload, &blob);
+  }
+  AppendRecord(RecordType::kSnapshotFooter, std::to_string(body.size()),
+               &blob);
+  return WriteFileAtomic(SnapshotPath(dir), blob, "persist.snapshot");
+}
+
+StatusOr<SnapshotScan> ReadSnapshot(const std::string& dir) {
+  SnapshotScan scan;
+  const std::string path = SnapshotPath(dir);
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) {
+      scan.missing = true;
+      return scan;
+    }
+    return contents.status();
+  }
+  const std::string& data = contents.value();
+  size_t offset = 0;
+  Record rec;
+  bool saw_header = false;
+  bool saw_footer = false;
+  for (;;) {
+    RecordParse r = ParseRecord(data, &offset, &rec);
+    if (r == RecordParse::kEof) break;
+    if (r == RecordParse::kTorn) {
+      return Status::IoError("corrupt snapshot (bad record at offset " +
+                             std::to_string(offset) + "): " + path);
+    }
+    if (saw_footer) {
+      return Status::IoError("corrupt snapshot (data after footer): " +
+                             path);
+    }
+    if (!saw_header) {
+      if (rec.type != RecordType::kFileHeader ||
+          rec.payload != kSnapshotHeaderPayload) {
+        return Status::IoError("not a snapshot file: " + path);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (rec.type == RecordType::kSnapshotFooter) {
+      uint64_t declared = 0;
+      if (!ParseFooterCount(rec.payload, &declared) ||
+          declared != scan.records.size()) {
+        return Status::IoError("corrupt snapshot (footer count mismatch): " +
+                               path);
+      }
+      saw_footer = true;
+      continue;
+    }
+    scan.records.push_back(std::move(rec));
+  }
+  if (!saw_header || !saw_footer) {
+    return Status::IoError("corrupt snapshot (missing header/footer): " +
+                           path);
+  }
+  return scan;
+}
+
+}  // namespace erq

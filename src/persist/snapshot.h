@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file
+/// Point-in-time snapshot of the durable caches (`snapshot.erq`).
+/// Snapshots are written whole and installed by atomic rename, so on
+/// disk there is only ever a complete old snapshot or a complete new one
+/// — a torn snapshot is a broken invariant, not an expected state, and
+/// recovery treats it as corruption (DESIGN.md §7).
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "persist/record.h"
+
+namespace erq {
+
+/// File name of the snapshot inside the persist directory.
+inline constexpr char kSnapshotFileName[] = "snapshot.erq";
+
+/// Header payload identifying a snapshot file and its format version.
+inline constexpr char kSnapshotHeaderPayload[] = "erq-snapshot-v1";
+
+/// Writes a snapshot containing `body` (insert/store records only) to
+/// `dir`/snapshot.erq via write-temp + fsync + rename + dir-fsync. The
+/// file is framed header + body + footer; the footer carries the body
+/// record count so a reader can prove completeness.
+Status WriteSnapshot(const std::string& dir,
+                     const std::vector<Record>& body);
+
+/// Result of reading a snapshot during recovery.
+struct SnapshotScan {
+  /// Body records (header and footer stripped), in file order.
+  std::vector<Record> records;
+  /// True when no snapshot file exists (first start, or journal-only).
+  bool missing = false;
+};
+
+/// Reads and validates `dir`/snapshot.erq. Unlike the journal, any
+/// invalid byte is an error: atomic installation means a damaged
+/// snapshot implies external corruption, which must not be silently
+/// repaired.
+StatusOr<SnapshotScan> ReadSnapshot(const std::string& dir);
+
+}  // namespace erq

@@ -1,5 +1,8 @@
 #include "core/serialize.h"
 
+#include <limits>
+
+#include "common/metrics.h"
 #include "expr/expr_builder.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -131,6 +134,114 @@ TEST(SerializeTest, MalformedInputRejected) {
       DeserializeInto("aqp v1 t | iv t.x ge zz:1 none", &cache).ok());
   EXPECT_FALSE(DeserializeInto("aqp v1 t | xy t.x", &cache).ok());
   EXPECT_FALSE(DeserializeInto("aqp v1 t | cc t.x ?? t.y", &cache).ok());
+}
+
+TEST(SerializeTest, MidFileMalformedLineKeepsPrefixDropsRest) {
+  // Documented contract (serialize.h): a malformed line produces an error
+  // and nothing is inserted *from that point on* — earlier lines stay.
+  // The persistence layer relies on this when flagging incompatible
+  // files, so pin the exact cutoff behavior.
+  std::string good1 = *SerializePart(AtomicQueryPart(
+      RelationSet({"t"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("t", "x"), ValueInterval::Point(Value::Int(1)))})));
+  std::string good2 = *SerializePart(AtomicQueryPart(
+      RelationSet({"t"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("t", "x"), ValueInterval::Point(Value::Int(2)))})));
+  std::string good3 = *SerializePart(AtomicQueryPart(
+      RelationSet({"t"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("t", "x"), ValueInterval::Point(Value::Int(3)))})));
+  std::string text =
+      good1 + "\n" + good2 + "\n" + "aqp v1 t | xy mangled\n" + good3 + "\n";
+
+  CaqpCache cache(10);
+  auto n = DeserializeInto(text, &cache);
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(cache.size(), 2u);  // prefix inserted, nothing after the error
+  EXPECT_TRUE(cache.CoveredBy(*ParsePart(good1)));
+  EXPECT_TRUE(cache.CoveredBy(*ParsePart(good2)));
+  EXPECT_FALSE(cache.CoveredBy(*ParsePart(good3)));
+}
+
+TEST(SerializeTest, NotEqualEdgeValuesRoundTrip) {
+  for (const Value& v :
+       {Value::Int(std::numeric_limits<int64_t>::min()),
+        Value::Int(std::numeric_limits<int64_t>::max()),
+        Value::String("separators ; | # and spaces"), Value::String(""),
+        Value::Date(0)}) {
+    AtomicQueryPart part(
+        RelationSet({"t"}),
+        Conjunction::Make({PrimitiveTerm::MakeNotEqual(
+            ColumnId::Make("t", "x"), v)}));
+    auto line = SerializePart(part);
+    ASSERT_TRUE(line.ok()) << v.ToString();
+    auto parsed = ParsePart(*line);
+    ASSERT_TRUE(parsed.ok()) << *line;
+    EXPECT_TRUE(part.Equals(*parsed)) << v.ToString();
+  }
+}
+
+TEST(SerializeTest, ColColAllOpsRoundTrip) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    AtomicQueryPart part(
+        RelationSet({"r", "s"}),
+        Conjunction::Make({PrimitiveTerm::MakeColCol(
+            ColumnId::Make("r", "a"), op, ColumnId::Make("s", "b"))}));
+    auto line = SerializePart(part);
+    ASSERT_TRUE(line.ok()) << CompareOpToString(op);
+    auto parsed = ParsePart(*line);
+    ASSERT_TRUE(parsed.ok()) << *line;
+    EXPECT_TRUE(part.Equals(*parsed)) << CompareOpToString(op);
+  }
+}
+
+TEST(SerializeTest, UnboundedIntervalEndsWithExtremeValuesRoundTrip) {
+  for (const ValueInterval& iv :
+       {ValueInterval::LessThan(Value::Int(std::numeric_limits<int64_t>::min()),
+                                true),
+        ValueInterval::GreaterThan(
+            Value::Int(std::numeric_limits<int64_t>::max()), false),
+        ValueInterval::Range(Value::Double(-1e308), true, Value::Double(1e308),
+                             false),
+        ValueInterval::Point(Value::String("| ; bounds"))}) {
+    AtomicQueryPart part(
+        RelationSet({"t"}),
+        Conjunction::Make({PrimitiveTerm::MakeInterval(
+            ColumnId::Make("t", "x"), iv)}));
+    auto line = SerializePart(part);
+    ASSERT_TRUE(line.ok()) << iv.ToString();
+    auto parsed = ParsePart(*line);
+    ASSERT_TRUE(parsed.ok()) << *line;
+    EXPECT_TRUE(part.Equals(*parsed)) << iv.ToString();
+  }
+}
+
+TEST(SerializeTest, SkippedOpaqueMetricCountsWriterSkips) {
+  using namespace erq::eb;  // NOLINT
+  Counter* skipped_metric =
+      MetricsRegistry::Global().GetCounter("erq.serialize.skipped_opaque");
+  uint64_t base = skipped_metric->Value();
+
+  CaqpCache cache(100);
+  cache.Insert(AtomicQueryPart(
+      RelationSet({"t"}),
+      Conjunction::Make({PrimitiveTerm::MakeOpaque(
+          Lt(Col("t", "x"), Add(Col("t", "y"), Int(1))))})));
+  cache.Insert(SamplePart());
+
+  size_t skipped = 0;
+  SerializeCache(cache, &skipped);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(skipped_metric->Value() - base, 1u);
+
+  // A fully serializable cache adds nothing.
+  CaqpCache clean(100);
+  clean.Insert(SamplePart());
+  SerializeCache(clean);
+  EXPECT_EQ(skipped_metric->Value() - base, 1u);
 }
 
 TEST(SerializeTest, TrueConditionPartRoundTrips) {

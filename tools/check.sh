@@ -4,9 +4,10 @@
 #   tools/check.sh            # run everything available on this machine
 #   tools/check.sh plain      # -Wall -Wextra -Werror build + full ctest
 #   tools/check.sh asan       # ASan+UBSan build + full ctest
-#   tools/check.sh tsan       # TSan build + `ctest -L concurrency` + unit run
+#   tools/check.sh tsan       # TSan build + `ctest -L 'concurrency|persist'`
 #   tools/check.sh tidy       # run-clang-tidy over compile_commands.json
 #   tools/check.sh clang      # clang build with -Werror=thread-safety
+#   tools/check.sh docs       # doc_lint + link check + Doxygen (if present)
 #   tools/check.sh bench      # opt-in: build benches + regenerate
 #                             # BENCH_caqp.json via tools/bench_json.sh
 #                             # (not part of the default job set)
@@ -67,6 +68,20 @@ print("metrics_dump: OK (%d counters, %d histograms)"
   else
     bad "plain (metrics_dump smoke)"
   fi
+  # Durability smoke: cache_inspect must decode and verify the files a
+  # real manager writes (README §Durability).
+  log "plain: cache_inspect --verify smoke"
+  local pdir
+  pdir=$(mktemp -d) || { bad "plain (cache_inspect smoke: mktemp)"; return 1; }
+  if "$dir/tools/metrics_dump" --trace tpcr --queries 20 \
+        --persist-dir "$pdir" > /dev/null \
+      && "$dir/tools/cache_inspect" --verify "$pdir" > /dev/null \
+      && "$dir/tools/cache_inspect" --records "$pdir" > /dev/null; then
+    ok "plain (cache_inspect smoke)"
+  else
+    bad "plain (cache_inspect smoke)"
+  fi
+  rm -rf "$pdir"
 }
 
 run_asan() {
@@ -77,9 +92,10 @@ run_asan() {
 
 run_tsan() {
   # Full suite is valuable but slow under TSan; the labeled concurrency
-  # tests are the ones with real thread interleavings, so run those always
-  # and let CHECK_TSAN_FULL=1 opt into everything.
-  local ctest_args=(-L concurrency)
+  # and persistence tests are the ones with real thread interleavings and
+  # listener/journal interaction, so run those always and let
+  # CHECK_TSAN_FULL=1 opt into everything.
+  local ctest_args=(-L 'concurrency|persist')
   [[ "${CHECK_TSAN_FULL:-0}" == "1" ]] && ctest_args=()
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
   configure_build_test tsan "${ctest_args[@]}" -- -DERQ_SANITIZE=thread
@@ -114,6 +130,30 @@ run_tidy() {
   ok "tidy"
 }
 
+run_docs() {
+  # Documentation gates. The two Python checkers always run (they need no
+  # toolchain); Doxygen runs when installed — CI installs it, so public
+  # declarations missing docs fail there even if a local box skips it.
+  log "docs: tools/doc_lint.py"
+  python3 tools/doc_lint.py || { bad "docs (doc_lint)"; return 1; }
+  log "docs: tools/check_links.py"
+  python3 tools/check_links.py || { bad "docs (check_links)"; return 1; }
+  if ! command -v doxygen > /dev/null; then
+    skip "docs (doxygen not installed; doc_lint + check_links still ran)"
+    ok "docs"
+    return 0
+  fi
+  log "docs: doxygen Doxyfile"
+  mkdir -p build-docs
+  doxygen Doxyfile || { bad "docs (doxygen)"; return 1; }
+  if [[ -s build-docs/doxygen-warnings.log ]]; then
+    cat build-docs/doxygen-warnings.log
+    bad "docs (doxygen warnings)"
+    return 1
+  fi
+  ok "docs"
+}
+
 run_bench() {
   # Opt-in perf snapshot: builds the bench targets and regenerates
   # BENCH_caqp.json. Honors BENCH_MIN_TIME (e.g. 0.01 for a smoke run).
@@ -132,7 +172,7 @@ run_bench() {
 main() {
   local jobs=("$@")
   # bench is opt-in (perf snapshot, not a correctness gate).
-  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain asan tsan clang tidy)
+  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain asan tsan clang tidy docs)
   for job in "${jobs[@]}"; do
     case "$job" in
       plain) run_plain ;;
@@ -140,8 +180,10 @@ main() {
       tsan)  run_tsan ;;
       clang) run_clang ;;
       tidy)  run_tidy ;;
+      docs)  run_docs ;;
       bench) run_bench ;;
-      *) echo "unknown job: $job (want plain|asan|tsan|clang|tidy|bench)" >&2
+      *) echo "unknown job: $job" \
+            "(want plain|asan|tsan|clang|tidy|docs|bench)" >&2
          exit 2 ;;
     esac
   done

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Markdown link checker: every relative link and anchor must resolve.
+
+Scans all tracked *.md files at the repository root and under docs/ for
+inline links `[text](target)`. For each target:
+
+- `http(s)://`, `mailto:` — skipped (no network access in CI).
+- `path` / `path#anchor` — the path (relative to the containing file)
+  must exist; if an anchor is given and the target is markdown, a
+  heading slugifying to that anchor must exist in the target.
+- `#anchor` — a heading slugifying to that anchor must exist in the
+  same file.
+
+Slugs follow the GitHub algorithm: lowercase, drop everything but
+alphanumerics/spaces/hyphens, spaces to hyphens. Duplicate headings get
+`-1`, `-2`, ... suffixes.
+
+Run from the repository root (the check_links ctest does this):
+    python3 tools/check_links.py
+Exits nonzero with file:line diagnostics on any broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files():
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def slugify(heading: str) -> str:
+    # Strip inline code/emphasis markers first, then apply GitHub rules.
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [t](u) -> t
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path):
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, anchor_cache):
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            if target.startswith("#"):
+                base, anchor = path, target[1:]
+            else:
+                rel, _, anchor = target.partition("#")
+                base = (path.parent / rel).resolve()
+                if not base.exists():
+                    problems.append(
+                        (lineno, f"broken link `{target}`: {rel} not found"))
+                    continue
+            if anchor:
+                if base.is_dir() or base.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                if base not in anchor_cache:
+                    anchor_cache[base] = anchors_of(base)
+                if anchor.lower() not in anchor_cache[base]:
+                    problems.append(
+                        (lineno,
+                         f"broken anchor `{target}`: no heading slugs to "
+                         f"`#{anchor}` in {base.name}"))
+    return problems
+
+
+def main() -> int:
+    bad = 0
+    anchor_cache = {}
+    for path in markdown_files():
+        for lineno, message in check_file(path, anchor_cache):
+            print(f"{path.relative_to(ROOT)}:{lineno}: {message}")
+            bad += 1
+    if bad:
+        print(f"check_links: {bad} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"check_links: OK ({len(markdown_files())} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Documentation lint: public declarations need Doxygen comments.
+
+Scans the API headers of the paper-contribution layer (src/core/*.h) and
+the persistence layer (src/persist/*.h) and reports every public
+declaration — namespace-scope class/struct/enum/function/constant, or
+public class member — that is not immediately preceded by a `///` (or
+`/** ... */`) documentation comment, and every header missing a
+`/// \\file` block. This is the always-available gate; the CI docs job
+additionally runs Doxygen itself (Doxyfile at the repo root) with
+undocumented-declaration warnings enabled.
+
+Exemptions (they add noise, not information): access specifiers,
+constructors/destructors, `= default` / `= delete` lines, `operator=`,
+`friend` declarations, `using` aliases, enumerators, and anything
+non-public.
+
+Run from the repository root (the doc_lint ctest does this):
+    python3 tools/doc_lint.py
+Exits nonzero with file:line diagnostics on any violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TARGET_GLOBS = [("src/core", "*.h"), ("src/persist", "*.h")]
+
+ACCESS_RE = re.compile(r"^(public|private|protected)\s*:")
+SCOPE_OPEN_RE = re.compile(
+    r"^(template\s*<.*>\s*)?(class|struct|enum(\s+class)?|namespace|union)\b")
+EXEMPT_RE = re.compile(
+    r"(=\s*delete|=\s*default|^\s*~|^friend\b|^using\b|operator=)")
+
+
+def net_braces(line: str) -> int:
+    """Brace balance of `line`, ignoring braces in string/char literals."""
+    out = 0
+    in_str = None
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+        elif c in "\"'":
+            in_str = c
+        elif c == "{":
+            out += 1
+        elif c == "}":
+            out -= 1
+        i += 1
+    return out
+
+
+def lint_header(path: Path):
+    problems = []
+    lines = path.read_text().splitlines()
+
+    text = "\n".join(lines[:40])
+    if "\\file" not in text and "@file" not in text:
+        problems.append((1, "header has no `/// \\file` block"))
+
+    # Scope stack entries: (kind, public?, depth-at-open). Depth counts
+    # all braces; function bodies are skipped wholesale.
+    stack = []
+    depth = 0
+    body_until = None  # skip until depth returns to this value
+    in_block_comment = False
+    has_doc = False  # a doc comment immediately precedes the current line
+    pending = False  # inside a multi-line declaration
+    pending_doc_checked = False
+
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith("///") or stripped.startswith("//!"):
+            has_doc = True
+            continue
+        if stripped.startswith("/**") or stripped.startswith("/*!"):
+            has_doc = True
+            if "*/" not in stripped:
+                in_block_comment = True
+            continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            continue
+        if stripped.startswith("//") or not stripped or stripped.startswith("#"):
+            has_doc = False
+            pending = False
+            continue
+
+        balance = net_braces(raw)
+
+        if body_until is not None:
+            depth += balance
+            if depth <= body_until:
+                body_until = None
+            has_doc = False
+            continue
+
+        # Where are we? Public scope = namespace scope, or a class/struct
+        # scope whose current access is public (and every enclosing scope
+        # public too). Enum scopes never require docs on their enumerators.
+        enclosing_public = all(pub for (_, pub, _) in stack)
+        in_enum = bool(stack) and stack[-1][0] == "enum"
+
+        m = ACCESS_RE.match(stripped)
+        if m and stack and stack[-1][0] in ("class", "struct", "union"):
+            kind, _, at = stack[-1]
+            stack[-1] = (kind, m.group(1) == "public", at)
+            has_doc = False
+            continue
+
+        if stripped.startswith(("{", "}", ")")):
+            depth += balance
+            while stack and depth < stack[-1][2]:
+                stack.pop()
+            has_doc = False
+            pending = False
+            continue
+
+        if not pending:
+            # A new declaration starts here.
+            scope_open = SCOPE_OPEN_RE.match(stripped)
+            needs_doc = (
+                enclosing_public
+                and not in_enum
+                and not EXEMPT_RE.search(stripped)
+                and not stripped.startswith("ERQ_")  # macro-only lines
+                and not (scope_open and scope_open.group(2) == "namespace")
+                # Forward declarations: `class X;`
+                and not (scope_open and stripped.endswith(";")
+                         and "{" not in stripped)
+                # Constructor lines: `ClassName(` with the enclosing name.
+                and not (stack and stack[-1][0] in ("class", "struct")
+                         and re.match(r"^(explicit\s+)?\w+\s*\(", stripped)
+                         and "=" not in stripped and ")" in stripped
+                         and re.match(r"^(explicit\s+)?(\w+)", stripped)
+                         .group(2) in path.read_text())
+            )
+            # Constructors are hard to tell from functions returning
+            # nothing; exempt lines whose callee name matches the
+            # innermost class name.
+            if needs_doc and stack and stack[-1][0] in ("class", "struct"):
+                ctor = re.match(r"^(explicit\s+|constexpr\s+)*(\w+)\s*\(",
+                                stripped)
+                if ctor and any(
+                        re.search(r"\b(class|struct)\s+" + ctor.group(2) +
+                                  r"\b", l) for l in lines):
+                    needs_doc = False
+            if needs_doc and not has_doc and "///" not in raw:
+                problems.append(
+                    (lineno, "public declaration lacks /// doc: " +
+                     stripped[:60]))
+            pending_doc_checked = True
+
+        # Track declaration continuation / scope opening / body skipping.
+        terminated = stripped.endswith(";") or stripped.endswith("}") or \
+            stripped.endswith("};")
+        opens = balance > 0
+        scope_open = SCOPE_OPEN_RE.match(stripped)
+        if opens and scope_open:
+            kind = scope_open.group(2)
+            if kind.startswith("enum"):
+                kind = "enum"
+            depth_before = depth
+            depth += balance
+            public = kind in ("struct", "union", "namespace", "enum") or False
+            if kind == "class":
+                public = False
+            stack.append((kind, public, depth_before + 1))
+            pending = False
+        elif opens:
+            depth_before = depth
+            depth += balance
+            if depth > depth_before or balance == 0:
+                # Function (or initializer) body: skip to its close.
+                if depth > depth_before:
+                    body_until = depth_before
+            pending = False
+        else:
+            depth += balance
+            pending = not terminated and not scope_open
+        while stack and depth < stack[-1][2]:
+            stack.pop()
+        has_doc = False
+
+    return problems
+
+
+def main() -> int:
+    bad = 0
+    for subdir, glob in TARGET_GLOBS:
+        for path in sorted((ROOT / subdir).glob(glob)):
+            for lineno, message in lint_header(path):
+                print(f"{path.relative_to(ROOT)}:{lineno}: {message}")
+                bad += 1
+    if bad:
+        print(f"doc_lint: {bad} problem(s)", file=sys.stderr)
+        return 1
+    print("doc_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

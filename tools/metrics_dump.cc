@@ -11,6 +11,10 @@
 //   --json         print the metrics JSON document to stdout (default
 //                  prints a short human summary followed by the JSON)
 //   --queries N    trace length (default 500 — a few seconds of work)
+//   --persist-dir D  enable crash-safe C_aqp persistence in directory D
+//                  (exercises the erq.persist.* instruments; the summary
+//                  reports parts recovered from a previous run and parts
+//                  skipped as unserializable)
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,18 +24,22 @@
 
 #include "common/metrics.h"
 #include "core/manager.h"
+#include "core/serialize.h"
 #include "workload/trace.h"
 
 namespace erq {
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--trace tpcr] [--json] [--queries N]\n", argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--trace tpcr] [--json] [--queries N] [--persist-dir D]\n",
+      argv0);
   return 2;
 }
 
-int RunTpcrTrace(size_t total_queries, bool json_only) {
+int RunTpcrTrace(size_t total_queries, bool json_only,
+                 const std::string& persist_dir) {
   Catalog catalog;
   TpcrConfig tpcr;
   tpcr.customers_per_unit = 500;
@@ -52,11 +60,24 @@ int RunTpcrTrace(size_t total_queries, bool json_only) {
 
   EmptyResultConfig config;
   config.c_cost = 0.0;  // check everything: exercises the whole pipeline
+  config.persist.dir = persist_dir;  // empty = persistence disabled
   EmptyResultManager manager(&catalog, &stats, config);
   if (!manager.init_status().ok()) {
     std::fprintf(stderr, "manager: %s\n",
                  manager.init_status().ToString().c_str());
     return 1;
+  }
+  if (manager.persistence() != nullptr && !json_only) {
+    const Persistence::RecoveredState& rec = manager.persistence()->recovered();
+    std::fprintf(stderr,
+                 "persistence: recovered %zu part(s) from %s "
+                 "(%llu snapshot + %llu journal records, %llu torn bytes "
+                 "dropped, %.3fms)\n",
+                 rec.parts.size(), persist_dir.c_str(),
+                 static_cast<unsigned long long>(rec.snapshot_records),
+                 static_cast<unsigned long long>(rec.journal_records),
+                 static_cast<unsigned long long>(rec.truncated_bytes),
+                 rec.recovery_seconds * 1e3);
   }
 
   // Scope the snapshot to this trace (workload setup above may already
@@ -78,13 +99,21 @@ int RunTpcrTrace(size_t total_queries, bool json_only) {
 
   if (!json_only) {
     ManagerStats ms = manager.stats_snapshot();
+    size_t skipped_opaque = 0;
+    SerializeCache(manager.detector().cache(), &skipped_opaque);
     std::fprintf(stderr,
                  "replayed %zu queries: %llu executed, %llu detected empty, "
-                 "%llu recorded; C_aqp size %zu\n",
+                 "%llu recorded; C_aqp size %zu (%zu part(s) not "
+                 "serializable: opaque terms)\n",
                  trace.size(), static_cast<unsigned long long>(ms.executed),
                  static_cast<unsigned long long>(ms.detected_empty),
                  static_cast<unsigned long long>(ms.recorded),
-                 manager.detector().cache().size());
+                 manager.detector().cache().size(), skipped_opaque);
+    if (manager.persistence() != nullptr &&
+        !manager.persistence()->status().ok()) {
+      std::fprintf(stderr, "persistence degraded: %s\n",
+                   manager.persistence()->status().ToString().c_str());
+    }
   }
   std::fputs(MetricsRegistry::Global().ToJson().c_str(), stdout);
   return 0;
@@ -92,6 +121,7 @@ int RunTpcrTrace(size_t total_queries, bool json_only) {
 
 int Main(int argc, char** argv) {
   std::string trace = "tpcr";
+  std::string persist_dir;
   bool json_only = false;
   size_t total_queries = 500;
   for (int i = 1; i < argc; ++i) {
@@ -101,12 +131,14 @@ int Main(int argc, char** argv) {
       trace = argv[++i];
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
       total_queries = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--persist-dir") == 0 && i + 1 < argc) {
+      persist_dir = argv[++i];
     } else {
       return Usage(argv[0]);
     }
   }
   if (trace != "tpcr" || total_queries == 0) return Usage(argv[0]);
-  return RunTpcrTrace(total_queries, json_only);
+  return RunTpcrTrace(total_queries, json_only, persist_dir);
 }
 
 }  // namespace
