@@ -1,5 +1,4 @@
-#ifndef ERQ_BENCH_BENCH_COMMON_H_
-#define ERQ_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <algorithm>
 #include <chrono>
@@ -162,4 +161,3 @@ inline void PrintHeader(const char* title, const char* what) {
 
 }  // namespace erq::bench
 
-#endif  // ERQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,81 @@
+#include "common/lock_order.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace erq {
+namespace debug_lock_order {
+
+namespace {
+
+/// One lock the calling thread currently holds.
+struct Held {
+  const void* mutex;
+  const LockRank* rank;  // null for unranked (test-local) mutexes
+};
+
+std::vector<Held>& HeldStack() {
+  // Function-local so first use constructs it; thread_local at namespace
+  // scope would be constructed eagerly on some toolchains.
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+void DefaultHandler(const Violation& v) {
+  // Fatal diagnostic, not a stat dump: the process is about to deadlock
+  // (or already holds locks in an order that can). Mirrors what TSan's
+  // deadlock detector would print, but deterministically and pre-block.
+  std::fprintf(stderr,
+               "erq: lock-order violation: acquiring %s (level %d) while "
+               "holding %s (level %d); hierarchy requires strictly "
+               "ascending levels (see src/common/lock_order.h)\n",
+               v.acquired_name, v.acquired_level, v.held_name, v.held_level);
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&DefaultHandler};
+
+}  // namespace
+
+Handler SetViolationHandler(Handler handler) {
+  if (handler == nullptr) handler = &DefaultHandler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+size_t HeldCount() {
+#ifdef ERQ_DEBUG_LOCK_ORDER
+  return HeldStack().size();
+#else
+  return 0;
+#endif
+}
+
+void OnAcquire(const void* mutex, const LockRank* rank, bool checked) {
+  std::vector<Held>& held = HeldStack();
+  if (checked && rank != nullptr) {
+    for (const Held& h : held) {
+      if (h.rank != nullptr && h.rank->level >= rank->level) {
+        Violation v{h.rank->level, h.rank->name, rank->level, rank->name};
+        g_handler.load(std::memory_order_acquire)(v);
+      }
+    }
+  }
+  held.push_back(Held{mutex, rank});
+}
+
+void OnRelease(const void* mutex) {
+  std::vector<Held>& held = HeldStack();
+  // Locks are almost always released LIFO, but scoped locks in one
+  // function may interleave; search from the top.
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mutex == mutex) {
+      held.erase(held.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace debug_lock_order
+}  // namespace erq

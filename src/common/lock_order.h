@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file
+/// The global lock hierarchy — the single source of truth for the order
+/// in which the codebase's mutexes may nest (DESIGN.md §"Lock hierarchy
+/// & deadlock freedom").
+///
+/// Levels ascend in acquisition order: a thread may acquire a mutex only
+/// while every lock it already holds has a *strictly lower* level.
+/// Because the relation is a total order, no cycle — and therefore no
+/// deadlock — is possible among locks that obey it.
+///
+/// Every `erq::Mutex` / `erq::SharedMutex` member in src/ must
+///   1. name its own anchor in `ERQ_ACQUIRED_AFTER(lock_order::kX)`,
+///   2. pass the same anchor to the ranked constructor (`{lock_order::kX}`),
+///   3. document real cross-module edges with `ERQ_ACQUIRED_BEFORE(...)`.
+/// `tools/lock_lint.py` (the `lock_lint` ctest) parses this table,
+/// rejects unannotated or mismatched declarations, extracts the
+/// whole-program acquisition graph, and fails the build on any edge that
+/// contradicts the levels below. `ERQ_DEBUG_LOCK_ORDER` builds enforce
+/// the same order at runtime on every acquisition.
+///
+/// The order encodes the system's real layering:
+///   Manager (10)      pipeline counters; never held across module calls
+///   CaqpCache (20)    C_aqp store; exclusive side calls the persistence
+///                     listener while held
+///   MvCache (30)      MV-baseline store; same listener pattern
+///   StatsCatalog (40) optimizer statistics; leaf within the query path
+///   Persistence (50)  durable mirror + journal; acquired under either
+///                     cache's lock, and itself held across IO seams
+///   FailPoint (60)    fault-injection registry, consulted at IO
+///                     boundaries under the persistence lock
+///   Metrics (70)      instrument registration; the universal leaf —
+///                     any module may register instruments under its own
+///                     lock
+/// Gaps of 10 leave room to slot in the next arc's locks (per-shard
+/// C_aqp locks, per-tenant server state) without renumbering.
+
+#include "common/thread_annotations.h"
+
+namespace erq {
+namespace lock_order {
+
+/// EmptyResultManager::mu_ — aggregate counters + adaptive cost gate.
+inline constexpr LockRank kManager{10, "Manager"};
+/// CaqpCache::mu_ — the C_aqp entry/index store (reader/writer).
+inline constexpr LockRank kCaqpCache{20, "CaqpCache"};
+/// MvEmptyCache::mu_ — the MV-baseline view store.
+inline constexpr LockRank kMvCache{30, "MvCache"};
+/// StatsCatalog::mu_ — per-column statistics snapshots.
+inline constexpr LockRank kStatsCatalog{40, "StatsCatalog"};
+/// Persistence::mu_ — durable mirrors, journal writer, sticky IO status.
+inline constexpr LockRank kPersistence{50, "Persistence"};
+/// FailPoint::mu_ — crash-point registry (hit counters, armings).
+inline constexpr LockRank kFailPoint{60, "FailPoint"};
+/// MetricsRegistry::mu_ — instrument registration and snapshots.
+inline constexpr LockRank kMetrics{70, "Metrics"};
+
+}  // namespace lock_order
+}  // namespace erq

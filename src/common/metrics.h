@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/thread_annotations.h"
 
 namespace erq {
@@ -176,7 +177,11 @@ class MetricsRegistry {
   std::vector<std::string> Names() const ERQ_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  // The universal leaf of the lock hierarchy: every module registers
+  // instruments (possibly under its own lock); this lock calls out to
+  // nothing.
+  mutable Mutex mu_
+      ERQ_ACQUIRED_AFTER(lock_order::kMetrics){lock_order::kMetrics};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       ERQ_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ ERQ_GUARDED_BY(mu_);

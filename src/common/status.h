@@ -4,6 +4,15 @@
 #include <string>
 #include <utility>
 
+/// Marks a Status/StatusOr-returning API whose result must be consumed:
+/// dropping it on the floor swallows the error. Project rule: every
+/// public Status/StatusOr-returning function in src/ carries this (a
+/// deliberately ignored result is spelled `(void)f();`, which documents
+/// the decision at the call site). A macro rather than bare
+/// [[nodiscard]] so one grep finds every annotation and the expansion
+/// can grow compiler-specific reasons later.
+#define ERQ_NODISCARD [[nodiscard]]
+
 namespace erq {
 
 /// Error categories used across the library. Mirrors the conventions of

@@ -60,7 +60,14 @@
 // On a function: caller must NOT hold `...` (deadlock prevention).
 #define ERQ_EXCLUDES(...) ERQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 
-// Lock-ordering declarations on mutex members.
+// Lock-ordering declarations on mutex members. The project's deadlock-
+// freedom discipline (DESIGN.md §"Lock hierarchy & deadlock freedom"):
+// every mutex in src/ declares its place in the global hierarchy with
+// ERQ_ACQUIRED_AFTER(<its own lock_order:: anchor>) and documents the
+// cross-module locks it is known to precede with ERQ_ACQUIRED_BEFORE.
+// tools/lock_lint.py checks the declarations against the acquisition
+// graph it extracts from the whole tree; the runtime validator
+// (ERQ_DEBUG_LOCK_ORDER) enforces the same order on every acquisition.
 #define ERQ_ACQUIRED_BEFORE(...) \
   ERQ_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
 #define ERQ_ACQUIRED_AFTER(...) \
@@ -75,21 +82,110 @@
 
 namespace erq {
 
+/// A level in the global lock hierarchy (DESIGN.md §"Lock hierarchy &
+/// deadlock freedom"). Ranks are pseudo-capabilities: they are never
+/// locked themselves, they exist to be (a) named in ERQ_ACQUIRED_AFTER /
+/// ERQ_ACQUIRED_BEFORE annotations on mutex declarations, (b) passed to
+/// the ranked Mutex/SharedMutex constructors so the ERQ_DEBUG_LOCK_ORDER
+/// runtime validator knows each lock's level, and (c) parsed by
+/// tools/lock_lint.py. The one rule: a thread may acquire a mutex only
+/// while every lock it already holds has a strictly lower level. The
+/// canonical rank table lives in common/lock_order.h.
+struct ERQ_CAPABILITY("lock_rank") LockRank {
+  int level;         ///< position in the hierarchy; acquisition order ascends
+  const char* name;  ///< anchor name, used in diagnostics
+};
+
+namespace debug_lock_order {
+
+/// True when the runtime lock-order validator is compiled in
+/// (-DERQ_DEBUG_LOCK_ORDER=ON; the TSan CI job builds with it).
+constexpr bool Enabled() {
+#ifdef ERQ_DEBUG_LOCK_ORDER
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// One out-of-order acquisition, reported while the offending lock is
+/// still an acquisition *attempt* (the check runs before blocking, so a
+/// real inversion is diagnosed instead of deadlocking).
+struct Violation {
+  int held_level;             ///< level of the already-held lock
+  const char* held_name;      ///< its rank anchor name
+  int acquired_level;         ///< level of the lock being acquired
+  const char* acquired_name;  ///< its rank anchor name
+};
+
+/// Violation sink. The default handler prints the two ranks and aborts;
+/// tests swap in a recording handler. Process-wide, not synchronized —
+/// install handlers before spawning threads.
+using Handler = void (*)(const Violation&);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previous one.
+Handler SetViolationHandler(Handler handler);
+
+/// Locks the calling thread currently holds that carry a rank (always 0
+/// when the validator is compiled out).
+size_t HeldCount();
+
+/// Validator entry points, called by Mutex/SharedMutex under
+/// ERQ_DEBUG_LOCK_ORDER. `rank` may be null (unranked mutexes — e.g.
+/// test-local ones — are tracked for release pairing but never checked).
+/// `checked` is false for try-acquisitions, which cannot deadlock.
+void OnAcquire(const void* mutex, const LockRank* rank, bool checked);
+void OnRelease(const void* mutex);
+
+}  // namespace debug_lock_order
+
+#ifdef ERQ_DEBUG_LOCK_ORDER
+#define ERQ_DLO_ACQUIRE_(mu, rank, checked) \
+  ::erq::debug_lock_order::OnAcquire(mu, rank, checked)
+#define ERQ_DLO_RELEASE_(mu) ::erq::debug_lock_order::OnRelease(mu)
+#else
+#define ERQ_DLO_ACQUIRE_(mu, rank, checked) ((void)0)
+#define ERQ_DLO_RELEASE_(mu) ((void)0)
+#endif
+
 /// std::mutex wrapper carrying the capability annotations. The analysis
 /// only understands annotated types, so shared state must use erq::Mutex
 /// (std::mutex members are invisible to it).
+///
+/// The ranked constructor places the mutex in the global lock hierarchy;
+/// every mutex in src/ must use it (tools/lock_lint.py enforces this).
+/// Under ERQ_DEBUG_LOCK_ORDER each acquisition is checked against a
+/// thread-local stack of held levels *before* blocking, so a lock-order
+/// inversion raises a diagnostic instead of a silent deadlock.
 class ERQ_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Ranked constructor: `rank` must outlive the mutex (the lock_order::
+  /// anchors are process-lifetime constants).
+  explicit Mutex(const LockRank& rank) : rank_(&rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ERQ_ACQUIRE() { mu_.lock(); }
-  void Unlock() ERQ_RELEASE() { mu_.unlock(); }
-  bool TryLock() ERQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ERQ_ACQUIRE() {
+    ERQ_DLO_ACQUIRE_(this, rank_, /*checked=*/true);
+    mu_.lock();
+  }
+  void Unlock() ERQ_RELEASE() {
+    mu_.unlock();
+    ERQ_DLO_RELEASE_(this);
+  }
+  bool TryLock() ERQ_TRY_ACQUIRE(true) {
+    // A try-acquisition cannot deadlock, so it is tracked (for release
+    // pairing and as held context for later acquisitions) but not checked.
+    if (!mu_.try_lock()) return false;
+    ERQ_DLO_ACQUIRE_(this, rank_, /*checked=*/false);
+    return true;
+  }
 
  private:
   std::mutex mu_;
+  const LockRank* rank_ = nullptr;
 };
 
 /// RAII lock for erq::Mutex — the annotated analogue of std::lock_guard.
@@ -119,26 +215,39 @@ class ERQ_SCOPED_CAPABILITY MutexLock {
 class ERQ_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  /// Ranked constructor: see Mutex. Shared (reader) acquisitions respect
+  /// the same hierarchy — a reader blocked behind a parked writer is just
+  /// as much a deadlock participant as an exclusive holder.
+  explicit SharedMutex(const LockRank& rank) : rank_(&rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void Lock() ERQ_ACQUIRE() {
+    ERQ_DLO_ACQUIRE_(this, rank_, /*checked=*/true);
     writers_waiting_.fetch_add(1, std::memory_order_relaxed);
     mu_.lock();
     writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
   }
-  void Unlock() ERQ_RELEASE() { mu_.unlock(); }
+  void Unlock() ERQ_RELEASE() {
+    mu_.unlock();
+    ERQ_DLO_RELEASE_(this);
+  }
   void ReaderLock() ERQ_ACQUIRE_SHARED() {
+    ERQ_DLO_ACQUIRE_(this, rank_, /*checked=*/true);
     while (writers_waiting_.load(std::memory_order_relaxed) > 0) {
       std::this_thread::yield();
     }
     mu_.lock_shared();
   }
-  void ReaderUnlock() ERQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void ReaderUnlock() ERQ_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    ERQ_DLO_RELEASE_(this);
+  }
 
  private:
   std::shared_mutex mu_;
   std::atomic<int> writers_waiting_{0};
+  const LockRank* rank_ = nullptr;
 };
 
 /// RAII exclusive lock for erq::SharedMutex.

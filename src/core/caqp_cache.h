@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/thread_annotations.h"
 #include "core/atomic_query_part.h"
 #include "core/config.h"
@@ -264,7 +265,10 @@ class CaqpCache {
   size_t GetOrCreateEntryLocked(const RelationSet& relations)
       ERQ_REQUIRES(mu_);
 
-  mutable SharedMutex mu_;
+  // Exclusive holders call the persistence listener (OnInsert/OnRemove/
+  // OnClear journal under Persistence::mu_), hence ACQUIRED_BEFORE.
+  mutable SharedMutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kCaqpCache)
+      ERQ_ACQUIRED_BEFORE(lock_order::kPersistence){lock_order::kCaqpCache};
 
   // Configuration, immutable after construction: safe to read unlocked.
   const size_t n_max_;

@@ -76,7 +76,7 @@ struct EmptyResultConfig {
   /// outside their range). EmptyResultManager calls this in its ctor and
   /// surfaces the Status from every entry point, so a mis-configured
   /// manager fails loudly instead of silently misbehaving.
-  Status Validate() const;
+  ERQ_NODISCARD Status Validate() const;
 };
 
 }  // namespace erq

@@ -23,14 +23,14 @@ std::vector<PhysOpPtr> FindLowestEmptyParts(const PhysOpPtr& root);
 /// relation names (§2.1 self-join renaming, computed per part), rewrite the
 /// combined selection condition to DNF, and emit one atomic query part per
 /// DNF term. All returned parts share the part's full relation set R_N.
-StatusOr<std::vector<AtomicQueryPart>> DecomposeSimplifiedPart(
+ERQ_NODISCARD StatusOr<std::vector<AtomicQueryPart>> DecomposeSimplifiedPart(
     const SimplifiedQueryPart& part, const DnfOptions& options);
 
 /// Convenience wrapper: SimplifyPhysicalPart + DecomposeSimplifiedPart.
-StatusOr<std::vector<AtomicQueryPart>> DecomposePhysicalPart(
+ERQ_NODISCARD StatusOr<std::vector<AtomicQueryPart>> DecomposePhysicalPart(
     const PhysOpPtr& part, const DnfOptions& options);
 /// Convenience wrapper: SimplifyLogicalPart + DecomposeSimplifiedPart.
-StatusOr<std::vector<AtomicQueryPart>> DecomposeLogicalPart(
+ERQ_NODISCARD StatusOr<std::vector<AtomicQueryPart>> DecomposeLogicalPart(
     const LogicalOpPtr& part, const DnfOptions& options);
 
 }  // namespace erq

@@ -32,7 +32,7 @@ struct EmptyResultExplanation {
 /// Builds the explanation from an executed physical plan. Requires the
 /// plan to have been run (actual cardinalities present); fails with
 /// kInvalidArgument otherwise or when the root output was not empty.
-StatusOr<EmptyResultExplanation> ExplainEmptyResult(const PhysOpPtr& root);
+ERQ_NODISCARD StatusOr<EmptyResultExplanation> ExplainEmptyResult(const PhysOpPtr& root);
 
 }  // namespace erq
 

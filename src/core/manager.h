@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "common/lock_order.h"
 #include "common/metrics.h"
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
@@ -139,13 +140,13 @@ class EmptyResultManager {
   const Status& init_status() const { return init_status_; }
 
   /// Full workflow for a SQL string.
-  StatusOr<QueryOutcome> Query(const std::string& sql);
+  ERQ_NODISCARD StatusOr<QueryOutcome> Query(const std::string& sql);
 
   /// Full workflow for a parsed statement.
-  StatusOr<QueryOutcome> QueryStatement(const Statement& stmt);
+  ERQ_NODISCARD StatusOr<QueryOutcome> QueryStatement(const Statement& stmt);
 
   /// Plans and optimizes without the detection workflow (for tools/tests).
-  StatusOr<PhysOpPtr> Prepare(const std::string& sql);
+  ERQ_NODISCARD StatusOr<PhysOpPtr> Prepare(const std::string& sql);
 
   /// The detection engine (and, through it, the C_aqp collection).
   EmptyResultDetector& detector() { return detector_; }
@@ -214,7 +215,10 @@ class EmptyResultManager {
   /// detaches from the still-alive cache and flushes the journal.
   std::unique_ptr<Persistence> persistence_;
 
-  mutable Mutex mu_;
+  // Top of the lock hierarchy: held only around counter/gate updates,
+  // never across calls into the detector, caches, or persistence.
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kManager)
+      ERQ_ACQUIRED_BEFORE(lock_order::kCaqpCache){lock_order::kManager};
   AdaptiveCostGate cost_gate_ ERQ_GUARDED_BY(mu_);
   ManagerStats stats_ ERQ_GUARDED_BY(mu_);
 };

@@ -34,12 +34,12 @@ std::string SerializeCache(const CaqpCache& cache,
 /// redundancy/capacity rules). Returns the number of parts inserted;
 /// malformed lines produce an error and nothing else is inserted from
 /// that point on.
-StatusOr<size_t> DeserializeInto(const std::string& text, CaqpCache* cache);
+ERQ_NODISCARD StatusOr<size_t> DeserializeInto(const std::string& text, CaqpCache* cache);
 
 /// Serializes a single part to one line (fails on opaque terms).
-StatusOr<std::string> SerializePart(const AtomicQueryPart& part);
+ERQ_NODISCARD StatusOr<std::string> SerializePart(const AtomicQueryPart& part);
 /// Parses one serialized line back into a part.
-StatusOr<AtomicQueryPart> ParsePart(const std::string& line);
+ERQ_NODISCARD StatusOr<AtomicQueryPart> ParsePart(const std::string& line);
 
 }  // namespace erq
 

@@ -36,11 +36,11 @@ struct SimplifiedQueryPart {
 /// Applies T1–T3 to a physical SPJ subtree. Returns kNotSupported when the
 /// subtree contains a non-empty-result-propagating or non-SPJ operator
 /// (aggregate, union, except, outer join) — such parts are not harvested.
-StatusOr<SimplifiedQueryPart> SimplifyPhysicalPart(const PhysOpPtr& part);
+ERQ_NODISCARD StatusOr<SimplifiedQueryPart> SimplifyPhysicalPart(const PhysOpPtr& part);
 
 /// The same simplification for a logical SPJ subtree (used when checking a
 /// new query, §2.4, which works on the logical plan).
-StatusOr<SimplifiedQueryPart> SimplifyLogicalPart(const LogicalOpPtr& part);
+ERQ_NODISCARD StatusOr<SimplifiedQueryPart> SimplifyLogicalPart(const LogicalOpPtr& part);
 
 }  // namespace erq
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
 #include "plan/logical_plan.h"
@@ -102,7 +103,10 @@ class MvEmptyCache {
   /// cannot be fingerprinted. Pure: touches no shared state.
   std::string Fingerprint(const LogicalOpPtr& root) const;
 
-  mutable Mutex mu_;
+  // Holders call the DurableMv listener (OnStore/OnEvict/OnClear journal
+  // under Persistence::mu_), hence ACQUIRED_BEFORE.
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kMvCache)
+      ERQ_ACQUIRED_BEFORE(lock_order::kPersistence){lock_order::kMvCache};
 
   const size_t max_views_;
   std::list<std::string> lru_ ERQ_GUARDED_BY(mu_);  // front = most recent

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/thread_annotations.h"
 
 namespace erq {
@@ -71,7 +72,10 @@ class FailPoint {
     uint64_t hits = 0;
   };
 
-  mutable Mutex mu_;
+  // Consulted at IO boundaries while Persistence::mu_ is held; acquires
+  // nothing itself.
+  mutable Mutex mu_
+      ERQ_ACQUIRED_AFTER(lock_order::kFailPoint){lock_order::kFailPoint};
   std::map<std::string, Point> points_ ERQ_GUARDED_BY(mu_);
   bool counting_ ERQ_GUARDED_BY(mu_) = false;
   std::atomic<int> active_{0};

@@ -34,15 +34,15 @@ class AppendFile {
   /// Opens `path` for appending, creating it if missing; `truncate`
   /// discards existing content. `seam_prefix` names this file's
   /// failpoint boundaries (e.g. "persist.journal.append").
-  Status Open(const std::string& path, bool truncate,
+  ERQ_NODISCARD Status Open(const std::string& path, bool truncate,
               std::string seam_prefix);
 
   /// Appends `data` verbatim. A fired `.torn` seam writes only a prefix
   /// of `data` before failing — simulating a torn write.
-  Status Append(std::string_view data);
+  ERQ_NODISCARD Status Append(std::string_view data);
 
   /// fsync()s the descriptor.
-  Status Sync();
+  ERQ_NODISCARD Status Sync();
 
   /// Closes the descriptor (no sync). Safe to call twice.
   void Close();
@@ -62,31 +62,31 @@ class AppendFile {
 };
 
 /// Reads all of `path`. NotFound if the file does not exist.
-StatusOr<std::string> ReadFileToString(const std::string& path);
+ERQ_NODISCARD StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /// True if `path` exists (any file type).
 bool FileExists(const std::string& path);
 
 /// Creates directory `path` if missing (single level, not mkdir -p).
-Status CreateDirIfMissing(const std::string& path);
+ERQ_NODISCARD Status CreateDirIfMissing(const std::string& path);
 
 /// fsync()s the directory containing `path`, making a rename within it
 /// durable.
-Status SyncDir(const std::string& dir);
+ERQ_NODISCARD Status SyncDir(const std::string& dir);
 
 /// Atomically replaces `path` with `contents`: writes `path`.tmp, fsyncs
 /// it, rename()s over `path`, then fsyncs the directory. Crash seams:
 /// `<seam_prefix>.write`, `<seam_prefix>.sync`, `<seam_prefix>.rename`,
 /// `<seam_prefix>.dirsync`. A crash at any seam leaves either the old
 /// complete file or the new complete file at `path` — never a mix.
-Status WriteFileAtomic(const std::string& path, std::string_view contents,
+ERQ_NODISCARD Status WriteFileAtomic(const std::string& path, std::string_view contents,
                        const std::string& seam_prefix);
 
 /// Truncates `path` to `size` bytes and fsyncs it — used to drop a torn
 /// journal tail during recovery.
-Status TruncateFileTo(const std::string& path, uint64_t size);
+ERQ_NODISCARD Status TruncateFileTo(const std::string& path, uint64_t size);
 
 /// Removes `path` if it exists; OK when the file was already absent.
-Status RemoveFileIfExists(const std::string& path);
+ERQ_NODISCARD Status RemoveFileIfExists(const std::string& path);
 
 }  // namespace erq

@@ -33,16 +33,16 @@ class JournalWriter {
   /// a new header record); otherwise appends after existing content —
   /// the caller must have truncated any torn tail first, and a header is
   /// written only when the file is empty.
-  Status Open(const std::string& dir, bool truncate,
+  ERQ_NODISCARD Status Open(const std::string& dir, bool truncate,
               const PersistOptions& options);
 
   /// Appends one framed record and applies the fsync policy. On error
   /// the journal must be considered broken (the caller stops journaling;
   /// the on-disk prefix up to the last good record remains recoverable).
-  Status Append(RecordType type, std::string_view payload);
+  ERQ_NODISCARD Status Append(RecordType type, std::string_view payload);
 
   /// Forces an fsync of everything appended so far.
-  Status Sync();
+  ERQ_NODISCARD Status Sync();
 
   /// Closes the file without syncing.
   void Close();
@@ -57,7 +57,7 @@ class JournalWriter {
   uint64_t appended_records() const { return appended_records_; }
 
  private:
-  Status MaybeSyncAfterAppend();
+  ERQ_NODISCARD Status MaybeSyncAfterAppend();
 
   AppendFile file_;
   PersistOptions options_;
@@ -84,6 +84,6 @@ struct JournalScan {
 /// reports where the valid prefix ends; the caller truncates. Fails only
 /// on real IO errors or a file whose very first record is not a valid
 /// journal header.
-StatusOr<JournalScan> ScanJournal(const std::string& dir);
+ERQ_NODISCARD StatusOr<JournalScan> ScanJournal(const std::string& dir);
 
 }  // namespace erq

@@ -45,7 +45,7 @@ struct PersistOptions {
 
   /// Rejects nonsensical settings (zero rotation threshold, negative
   /// fsync interval). Called from EmptyResultConfig::Validate().
-  Status Validate() const;
+  ERQ_NODISCARD Status Validate() const;
 };
 
 }  // namespace erq

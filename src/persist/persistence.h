@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
@@ -62,7 +63,7 @@ class Persistence : public CaqpCache::ChangeListener {
   /// snapshot and journal (truncating a torn journal tail), and opens the
   /// journal for appending. Fails on real IO errors or a corrupt
   /// snapshot — never on a torn journal.
-  static StatusOr<std::unique_ptr<Persistence>> Open(
+  ERQ_NODISCARD static StatusOr<std::unique_ptr<Persistence>> Open(
       const PersistOptions& options);
 
   /// Like Open(), but strictly read-only: reconstructs RecoveredState
@@ -71,7 +72,7 @@ class Persistence : public CaqpCache::ChangeListener {
   /// for appending, or touching the recovery metrics. For inspection
   /// tools (cache_inspect) that must never repair what they examine; the
   /// returned object must not be attached to a cache or journaled to.
-  static StatusOr<std::unique_ptr<Persistence>> OpenReadOnly(
+  ERQ_NODISCARD static StatusOr<std::unique_ptr<Persistence>> OpenReadOnly(
       const PersistOptions& options);
 
   /// Detaches from the cache, flushes and closes the journal.
@@ -87,7 +88,7 @@ class Persistence : public CaqpCache::ChangeListener {
   /// mutations, and compacts (fresh snapshot + empty journal) so disk
   /// exactly matches the live cache. Call once, before `cache` is shared
   /// with other threads; `cache` must outlive this object.
-  Status AttachCaqp(CaqpCache* cache);
+  ERQ_NODISCARD Status AttachCaqp(CaqpCache* cache);
 
   /// Re-bases the MV half of the durable mirror on the fingerprints a
   /// live MvEmptyCache actually holds (oldest first). Called by DurableMv
@@ -102,13 +103,13 @@ class Persistence : public CaqpCache::ChangeListener {
   void JournalMvClear() ERQ_EXCLUDES(mu_);
 
   /// Forces an fsync of the journal (clean-shutdown flush).
-  Status Flush() ERQ_EXCLUDES(mu_);
+  ERQ_NODISCARD Status Flush() ERQ_EXCLUDES(mu_);
 
   /// Forces a snapshot rotation now, regardless of journal size.
-  Status SnapshotNow() ERQ_EXCLUDES(mu_);
+  ERQ_NODISCARD Status SnapshotNow() ERQ_EXCLUDES(mu_);
 
   /// OK until the first IO failure; then the sticky first error.
-  Status status() const ERQ_EXCLUDES(mu_);
+  ERQ_NODISCARD Status status() const ERQ_EXCLUDES(mu_);
 
   /// CaqpCache::ChangeListener — runs under the cache's exclusive lock.
   void OnInsert(const AtomicQueryPart& aqp) override;
@@ -134,12 +135,12 @@ class Persistence : public CaqpCache::ChangeListener {
   explicit Persistence(PersistOptions options);
 
   /// Shared body of Open() / OpenReadOnly().
-  static StatusOr<std::unique_ptr<Persistence>> OpenImpl(
+  ERQ_NODISCARD static StatusOr<std::unique_ptr<Persistence>> OpenImpl(
       const PersistOptions& options, bool read_only);
 
   /// Replays snapshot + journal records into the mirrors and fills
   /// recovered_ (called once from Open).
-  Status RecoverLocked() ERQ_REQUIRES(mu_);
+  ERQ_NODISCARD Status RecoverLocked() ERQ_REQUIRES(mu_);
 
   /// Appends one record; on failure latches io_status_ and stops
   /// journaling.
@@ -147,14 +148,19 @@ class Persistence : public CaqpCache::ChangeListener {
       ERQ_REQUIRES(mu_);
 
   /// Writes the mirrors as a fresh snapshot and resets the journal.
-  Status RotateLocked() ERQ_REQUIRES(mu_);
+  ERQ_NODISCARD Status RotateLocked() ERQ_REQUIRES(mu_);
   void MaybeRotateLocked() ERQ_REQUIRES(mu_);
 
   const PersistOptions options_;
   /// True for OpenReadOnly instances: no truncation, no journal writes.
   bool read_only_ = false;
 
-  mutable Mutex mu_;
+  // Acquired under either cache's lock (listener callbacks) and held
+  // across IO seams that consult FailPoint and register metrics, hence
+  // the two ACQUIRED_BEFORE edges.
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kPersistence)
+      ERQ_ACQUIRED_BEFORE(lock_order::kFailPoint,
+                          lock_order::kMetrics){lock_order::kPersistence};
   JournalWriter journal_ ERQ_GUARDED_BY(mu_);
   Status io_status_ ERQ_GUARDED_BY(mu_);
   Mirror caqp_mirror_ ERQ_GUARDED_BY(mu_);

@@ -26,7 +26,7 @@ inline constexpr char kSnapshotHeaderPayload[] = "erq-snapshot-v1";
 /// `dir`/snapshot.erq via write-temp + fsync + rename + dir-fsync. The
 /// file is framed header + body + footer; the footer carries the body
 /// record count so a reader can prove completeness.
-Status WriteSnapshot(const std::string& dir,
+ERQ_NODISCARD Status WriteSnapshot(const std::string& dir,
                      const std::vector<Record>& body);
 
 /// Result of reading a snapshot during recovery.
@@ -41,6 +41,6 @@ struct SnapshotScan {
 /// invalid byte is an error: atomic installation means a damaged
 /// snapshot implies external corruption, which must not be silently
 /// repaired.
-StatusOr<SnapshotScan> ReadSnapshot(const std::string& dir);
+ERQ_NODISCARD StatusOr<SnapshotScan> ReadSnapshot(const std::string& dir);
 
 }  // namespace erq

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/lock_order.h"
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
 #include "catalog/catalog.h"
@@ -51,7 +52,10 @@ class StatsCatalog {
 
   const size_t histogram_buckets_;
 
-  mutable Mutex mu_;
+  // Leaf within the query path: held only around map lookups/updates,
+  // never across calls into other modules.
+  mutable Mutex mu_
+      ERQ_ACQUIRED_AFTER(lock_order::kStatsCatalog){lock_order::kStatsCatalog};
   std::unordered_map<std::string, std::shared_ptr<const ColumnStats>>
       column_stats_ ERQ_GUARDED_BY(mu_);
   std::unordered_map<std::string, size_t> row_counts_ ERQ_GUARDED_BY(mu_);

@@ -4,13 +4,18 @@
 #   tools/check.sh            # run everything available on this machine
 #   tools/check.sh plain      # -Wall -Wextra -Werror build + full ctest
 #   tools/check.sh asan       # ASan+UBSan build + full ctest
-#   tools/check.sh tsan       # TSan build + `ctest -L 'concurrency|persist'`
+#   tools/check.sh tsan       # TSan + ERQ_DEBUG_LOCK_ORDER build +
+#                             # `ctest -L 'concurrency|persist'`
+#   tools/check.sh analyze    # static analysis: lock_lint (+ its own
+#                             # test suite) over compile_commands.json,
+#                             # plus run-clang-tidy where installed
 #   tools/check.sh tidy       # run-clang-tidy over compile_commands.json
 #   tools/check.sh clang      # clang build with -Werror=thread-safety
 #   tools/check.sh docs       # doc_lint + link check + Doxygen (if present)
 #   tools/check.sh bench      # opt-in: build benches + regenerate
 #                             # BENCH_caqp.json via tools/bench_json.sh
 #                             # (not part of the default job set)
+#   tools/check.sh --help     # this usage text
 #
 # Each job uses its own build tree (build-check-<job>) so flavors never
 # contaminate each other. Exits nonzero on the first regression. Jobs whose
@@ -94,11 +99,37 @@ run_tsan() {
   # Full suite is valuable but slow under TSan; the labeled concurrency
   # and persistence tests are the ones with real thread interleavings and
   # listener/journal interaction, so run those always and let
-  # CHECK_TSAN_FULL=1 opt into everything.
+  # CHECK_TSAN_FULL=1 opt into everything. The debug lock-order validator
+  # rides along: TSan finds orders that DID invert in this run, the
+  # validator aborts on any acquisition that CONTRADICTS the declared
+  # hierarchy (DESIGN.md §8) even if no other thread was mid-deadlock.
   local ctest_args=(-L 'concurrency|persist')
   [[ "${CHECK_TSAN_FULL:-0}" == "1" ]] && ctest_args=()
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
-  configure_build_test tsan "${ctest_args[@]}" -- -DERQ_SANITIZE=thread
+  configure_build_test tsan "${ctest_args[@]}" \
+    -- -DERQ_SANITIZE=thread -DERQ_DEBUG_LOCK_ORDER=ON
+}
+
+run_analyze() {
+  # Static analysis over the whole program. lock_lint extracts the lock
+  # acquisition graph from the annotated sources (including locks held
+  # across calls into other modules) and checks it against the declared
+  # hierarchy in src/common/lock_order.h; its own fixture corpus of
+  # seeded inversions runs first so a broken linter cannot green-light a
+  # broken tree. clang-tidy runs when installed (SKIPPED otherwise; CI
+  # has it).
+  local dir="$ROOT/build-check-plain"
+  if [[ ! -f "$dir/compile_commands.json" ]]; then
+    log "analyze: configuring $dir for compile_commands.json"
+    cmake -B "$dir" -S "$ROOT" || { bad "analyze (configure)"; return 1; }
+  fi
+  log "analyze: tools/lock_lint_test.py (linter self-test)"
+  python3 tools/lock_lint_test.py || { bad "analyze (lock_lint_test)"; return 1; }
+  log "analyze: tools/lock_lint.py"
+  python3 tools/lock_lint.py --build-dir "$dir" \
+    || { bad "analyze (lock_lint)"; return 1; }
+  ok "analyze (lock_lint)"
+  run_tidy
 }
 
 run_clang() {
@@ -169,21 +200,35 @@ run_bench() {
   ok "bench"
 }
 
+usage() {
+  # Print the header comment (everything between the shebang and the
+  # first blank-after-comment line) as the usage text.
+  sed -n '2,/^$/{/^#/s/^# \{0,1\}//p}' "$0"
+}
+
 main() {
   local jobs=("$@")
-  # bench is opt-in (perf snapshot, not a correctness gate).
-  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain asan tsan clang tidy docs)
+  for job in "${jobs[@]:-}"; do
+    case "$job" in
+      -h|--help|help) usage; exit 0 ;;
+    esac
+  done
+  # bench is opt-in (perf snapshot, not a correctness gate). analyze runs
+  # after plain so the compile_commands.json it needs already exists.
+  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain analyze asan tsan clang docs)
   for job in "${jobs[@]}"; do
     case "$job" in
-      plain) run_plain ;;
-      asan)  run_asan ;;
-      tsan)  run_tsan ;;
-      clang) run_clang ;;
-      tidy)  run_tidy ;;
-      docs)  run_docs ;;
-      bench) run_bench ;;
+      plain)   run_plain ;;
+      analyze) run_analyze ;;
+      asan)    run_asan ;;
+      tsan)    run_tsan ;;
+      clang)   run_clang ;;
+      tidy)    run_tidy ;;
+      docs)    run_docs ;;
+      bench)   run_bench ;;
       *) echo "unknown job: $job" \
-            "(want plain|asan|tsan|clang|tidy|docs|bench)" >&2
+            "(want plain|analyze|asan|tsan|clang|tidy|docs|bench;" \
+            "--help for details)" >&2
          exit 2 ;;
     esac
   done

@@ -12,10 +12,16 @@ Checks (all file-level, no compiler needed):
      vsprintf, gets (use std::string / snprintf).
   5. No ad-hoc stat dumps in library code: printf / fprintf / puts /
      std::cout & friends are banned under src/ outside the metrics layer
-     (src/common/metrics.*). Library components publish numbers through
-     MetricsRegistry (DESIGN.md §"Observability"); only CLIs, benches,
-     examples, and tests print. String formatting via snprintf stays
-     allowed.
+     (src/common/metrics.*) and the lock-order validator
+     (src/common/lock_order.cc, whose violation handler must report
+     without allocating before it aborts). Library components publish
+     numbers through MetricsRegistry (DESIGN.md §"Observability"); only
+     CLIs, benches, examples, and tests print. String formatting via
+     snprintf stays allowed.
+  6. Every header under src/ is reachable: included, by its
+     src/-relative path, from at least one other scanned file. An
+     unreachable header is invisible to the compiler, clang-tidy, and
+     the lock/thread-safety analyses — dead code that silently rots.
 
 Run from the repository root (the lint ctest does this automatically):
     python3 tools/lint.py
@@ -28,7 +34,9 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC_DIRS = ["src", "tests", "bench", "examples"]
-HEADER_DIRS = ["src", "tests"]
+# Header hygiene applies everywhere headers live, including bench/ and
+# examples/ (they used to be silently skipped).
+HEADER_DIRS = ["src", "tests", "bench", "examples"]
 
 # Quoted includes must name a file under src/ by its src/-relative path,
 # one of these third-party prefixes, or (from tests/) a tests/-local file.
@@ -40,7 +48,14 @@ BANNED_FUNCTIONS = re.compile(r"\b(strcpy|strcat|sprintf|vsprintf|gets)\s*\(")
 STAT_DUMPS = re.compile(
     r"\b(?:std\s*::\s*)?(printf|fprintf|vprintf|vfprintf|puts|fputs)\s*\("
     r"|\bstd\s*::\s*(cout|cerr|clog)\b")
-STAT_DUMP_EXEMPT = {Path("src/common/metrics.h"), Path("src/common/metrics.cc")}
+STAT_DUMP_EXEMPT = {
+    Path("src/common/metrics.h"),
+    Path("src/common/metrics.cc"),
+    # The default lock-order violation handler prints to stderr and
+    # aborts; routing a deadlock diagnosis through the metrics registry
+    # (whose mutex is itself ranked) would be circular.
+    Path("src/common/lock_order.cc"),
+}
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
@@ -152,8 +167,22 @@ def check_stat_dumps(path, code_lines, errors):
                 f"(src/common/metrics.h) instead")
 
 
+def check_header_reachability(included, errors):
+    """Every src/ header must be included somewhere: headers with no
+    includer never reach the compiler or any analysis tool, so changes to
+    them are never checked — they only look covered."""
+    for path in iter_files(["src"], {".h"}):
+        rel = path.relative_to(ROOT / "src").as_posix()
+        if rel not in included:
+            errors.append(
+                f"{path}:1: header is never included by any scanned file; "
+                f"unreachable headers are invisible to the compiler and "
+                f"every analysis pass (include it or delete it)")
+
+
 def main() -> int:
     errors = []
+    included = set()
 
     for path in iter_files(HEADER_DIRS, {".h"}):
         text = strip_comments(path.read_text(encoding="utf-8"))
@@ -164,9 +193,15 @@ def main() -> int:
     for path in iter_files(SRC_DIRS, {".h", ".cc"}):
         text = strip_comments(path.read_text(encoding="utf-8"))
         code_lines = list(enumerate(text.splitlines(), start=1))
+        for _, line in code_lines:
+            m = QUOTED_INCLUDE.match(line)
+            if m:
+                included.add(m.group(1))
         check_includes(path, code_lines, errors)
         check_banned_functions(path, code_lines, errors)
         check_stat_dumps(path, code_lines, errors)
+
+    check_header_reachability(included, errors)
 
     if errors:
         print(f"lint: {len(errors)} violation(s)", file=sys.stderr)

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture rank table: two levels, ascending Alpha -> Beta.
+#include "common/thread_annotations.h"
+
+namespace erq {
+namespace lock_order {
+
+inline constexpr LockRank kAlpha{10, "Alpha"};
+inline constexpr LockRank kBeta{20, "Beta"};
+
+}  // namespace lock_order
+}  // namespace erq

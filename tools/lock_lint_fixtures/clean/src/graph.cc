@@ -1,0 +1,20 @@
+#include "graph.h"
+
+namespace erq {
+
+void Beta::Bump() {
+  MutexLock lock(&mu_);
+  ++value_;
+}
+
+int Beta::Read() const {
+  MutexLock lock(&mu_);
+  return value_;
+}
+
+void Alpha::Touch() {
+  MutexLock lock(&mu_);
+  if (beta_ != nullptr) beta_->Bump();
+}
+
+}  // namespace erq

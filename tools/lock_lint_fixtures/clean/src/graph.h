@@ -1,0 +1,29 @@
+#pragma once
+// Clean two-lock program: Alpha (10) calls into Beta (20) while holding
+// its own mutex — levels ascend, so the linter reports zero violations.
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace erq {
+
+class Beta {
+ public:
+  void Bump();
+  int Read() const;
+
+ private:
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kBeta){lock_order::kBeta};
+  int value_ ERQ_GUARDED_BY(mu_) = 0;
+};
+
+class Alpha {
+ public:
+  void Touch();
+
+ private:
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kAlpha)
+      ERQ_ACQUIRED_BEFORE(lock_order::kBeta){lock_order::kAlpha};
+  Beta* beta_ ERQ_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace erq

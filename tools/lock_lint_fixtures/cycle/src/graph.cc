@@ -1,0 +1,31 @@
+#include "graph.h"
+
+namespace erq {
+
+void Beta::Bump() {
+  MutexLock lock(&mu_);
+  ++value_;
+}
+
+void Beta::Attach(Alpha* alpha) {
+  MutexLock lock(&mu_);
+  alpha_ = alpha;
+}
+
+void Beta::Poke() {
+  MutexLock lock(&mu_);
+  // BUG: Beta (20) is held while Alpha::Grab takes Alpha::mu_ (10).
+  if (alpha_ != nullptr) alpha_->Grab();
+}
+
+void Alpha::Touch() {
+  MutexLock lock(&mu_);
+  if (beta_ != nullptr) beta_->Bump();
+}
+
+void Alpha::Grab() {
+  MutexLock lock(&mu_);
+  ++hits_;
+}
+
+}  // namespace erq

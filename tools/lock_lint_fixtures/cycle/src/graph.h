@@ -1,0 +1,37 @@
+#pragma once
+// Seeded A->B / B->A inversion: Alpha::Touch holds Alpha::mu_ and bumps
+// Beta; Beta::Poke holds Beta::mu_ and calls back into Alpha::Grab.
+// Run concurrently those two paths deadlock; the linter must report both
+// the descending edge and the cycle.
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace erq {
+
+class Alpha;
+
+class Beta {
+ public:
+  void Bump();
+  void Poke();
+  void Attach(Alpha* alpha);
+
+ private:
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kBeta){lock_order::kBeta};
+  Alpha* alpha_ ERQ_GUARDED_BY(mu_) = nullptr;
+  int value_ ERQ_GUARDED_BY(mu_) = 0;
+};
+
+class Alpha {
+ public:
+  void Touch();
+  void Grab();
+
+ private:
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kAlpha)
+      ERQ_ACQUIRED_BEFORE(lock_order::kBeta){lock_order::kAlpha};
+  Beta* beta_ ERQ_GUARDED_BY(mu_) = nullptr;
+  int hits_ ERQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace erq

@@ -1,0 +1,15 @@
+#include "cache.h"
+
+namespace erq {
+
+std::vector<int> Cache::Snapshot() const {
+  ReaderMutexLock lock(&mu_);
+  return parts_;
+}
+
+void Cache::Insert(int part) {
+  WriterMutexLock lock(&mu_);
+  parts_.push_back(part);
+}
+
+}  // namespace erq

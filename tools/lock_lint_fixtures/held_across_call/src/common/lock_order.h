@@ -1,0 +1,13 @@
+#pragma once
+// Fixture rank table mirroring the real hierarchy's cache/persistence
+// levels.
+#include "common/thread_annotations.h"
+
+namespace erq {
+namespace lock_order {
+
+inline constexpr LockRank kCaqpCache{20, "CaqpCache"};
+inline constexpr LockRank kPersistence{50, "Persistence"};
+
+}  // namespace lock_order
+}  // namespace erq

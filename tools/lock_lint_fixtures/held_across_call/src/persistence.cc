@@ -1,0 +1,19 @@
+#include "persistence.h"
+
+namespace erq {
+
+// The pre-fix AttachCaqp shape: the persistence mutex (50) is held
+// across a call into the cache, whose Snapshot() takes the cache lock
+// (20). Concurrently with a listener callback (cache lock held, then
+// persistence lock) this deadlocks — the linter must flag the
+// descending cross-module edge with the call path as provenance.
+void Persistence::AttachCaqp(Cache* cache) {
+  MutexLock lock(&mu_);
+  mirror_.clear();
+  std::vector<int> kept = cache->Snapshot();
+  for (int part : kept) {
+    mirror_.push_back(part);
+  }
+}
+
+}  // namespace erq

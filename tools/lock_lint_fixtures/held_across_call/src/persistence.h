@@ -1,0 +1,22 @@
+#pragma once
+// Miniature persistence engine at level 50. The declared order (and the
+// one the listener callbacks create at runtime) is cache -> persistence.
+#include <vector>
+
+#include "cache.h"
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace erq {
+
+class Persistence {
+ public:
+  void AttachCaqp(Cache* cache);
+
+ private:
+  mutable Mutex mu_
+      ERQ_ACQUIRED_AFTER(lock_order::kPersistence){lock_order::kPersistence};
+  std::vector<int> mirror_ ERQ_GUARDED_BY(mu_);
+};
+
+}  // namespace erq

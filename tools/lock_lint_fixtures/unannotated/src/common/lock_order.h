@@ -1,0 +1,11 @@
+#pragma once
+// Fixture rank table for the unannotated-mutex case.
+#include "common/thread_annotations.h"
+
+namespace erq {
+namespace lock_order {
+
+inline constexpr LockRank kAlpha{10, "Alpha"};
+
+}  // namespace lock_order
+}  // namespace erq

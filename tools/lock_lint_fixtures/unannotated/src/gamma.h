@@ -1,0 +1,22 @@
+#pragma once
+// A mutex that never declared its place in the hierarchy: the linter
+// must refuse it (every lock must carry a rank, or the whole-program
+// order proof has a hole).
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace erq {
+
+class Gamma {
+ public:
+  void Inc() {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ ERQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace erq
