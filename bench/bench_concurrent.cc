@@ -1,14 +1,21 @@
 // Multithreaded C_aqp throughput benchmarks (google-benchmark threaded
 // mode): lookups/sec at 1/2/4/8 threads for hit-heavy, miss-heavy, and
-// mixed insert+lookup workloads at several N_max, plus the index ablation
-// (enable_index=false = the pre-index linear entry scan) so the subset-
-// index speedup stays measurable from this PR forward.
+// mixed insert+lookup workloads at several N_max, plus two ablations —
+// enable_index=false (the pre-index linear entry scan) and a shard sweep
+// (shards=1/4/16) over the lookup and 99/1 read-mostly workloads so the
+// sharding + epoch-read speedups stay measurable from this PR forward.
 //
 // The stored population spreads N parts over N/4 distinct relation names
 // (4 point conditions per relation), the shape where entry enumeration —
 // not the per-entry condition scan — dominates a probe. A hit probe asks
 // for a stored point; a miss probe asks for a point outside every stored
 // condition on an existing relation, forcing the full candidate walk.
+//
+// Probe pools are ordered by relation and each benchmark thread draws
+// from its own contiguous slice, so distinct threads probe (mostly)
+// distinct relations: thread scaling then measures the epoch-guarded
+// read path itself, not cross-thread ping-pong on one entry's recency
+// cache line.
 //
 // tools/bench_json.sh runs this binary together with bench_micro and
 // merges the results into BENCH_caqp.json.
@@ -31,6 +38,8 @@ using namespace erq;
 namespace {
 
 constexpr size_t kPartsPerRelation = 4;
+constexpr size_t kPoolSize = 8192;
+constexpr size_t kBatchSize = 16;
 
 AtomicQueryPart Point(const std::string& rel, int64_t x) {
   return AtomicQueryPart(
@@ -44,70 +53,86 @@ struct Workload {
   size_t relations = 0;
   // Pre-built probe pools so the timed loop measures CoveredBy itself,
   // not AtomicQueryPart construction (strings + vectors dominate
-  // otherwise). Read-only after construction: safe to share across the
-  // benchmark threads.
+  // otherwise). Pool index i maps to relation i*relations/kPoolSize, so
+  // a contiguous slice covers a contiguous relation range. Read-only
+  // after construction: safe to share across the benchmark threads.
   std::vector<AtomicQueryPart> hit_probes;
   std::vector<AtomicQueryPart> miss_probes;
+};
 
-  const AtomicQueryPart& HitProbe(std::mt19937_64& rng) const {
-    return hit_probes[rng() % hit_probes.size()];
-  }
-  const AtomicQueryPart& MissProbe(std::mt19937_64& rng) const {
-    return miss_probes[rng() % miss_probes.size()];
+// The probe-pool slice owned by one benchmark thread. Slices partition
+// the pool, so threads never share a probe stream.
+struct ProbeSlice {
+  const std::vector<AtomicQueryPart>* pool;
+  size_t begin;
+  size_t len;
+
+  const AtomicQueryPart& Draw(std::mt19937_64& rng) const {
+    return (*pool)[begin + rng() % len];
   }
 };
 
-enum class Kind { kLookup, kMixed };
+ProbeSlice SliceFor(const std::vector<AtomicQueryPart>& pool,
+                    const benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.threads());
+  const size_t t = static_cast<size_t>(state.thread_index());
+  const size_t begin = t * pool.size() / threads;
+  const size_t end = (t + 1) * pool.size() / threads;
+  return ProbeSlice{&pool, begin, end - begin};
+}
+
+enum class Kind { kLookup, kMixed, kReadMostly };
 
 /// Shared, lazily built workloads. Threads of one benchmark run their
 /// setup concurrently, so construction is serialized; workloads are kept
-/// for the binary's lifetime (the mixed workload is intentionally reused —
-/// it stays in eviction steady state across repetitions).
-Workload& GetWorkload(size_t n, bool indexed, Kind kind) {
+/// for the binary's lifetime (the mutating workloads are intentionally
+/// reused — they stay in eviction steady state across repetitions).
+Workload& GetWorkload(size_t n, bool indexed, Kind kind, size_t shards) {
   static std::mutex mu;
-  static std::map<std::tuple<size_t, bool, Kind>, std::unique_ptr<Workload>>
+  static std::map<std::tuple<size_t, bool, Kind, size_t>,
+                  std::unique_ptr<Workload>>
       registry;
   std::lock_guard<std::mutex> lock(mu);
-  auto& slot = registry[{n, indexed, kind}];
+  auto& slot = registry[{n, indexed, kind, shards}];
   if (slot == nullptr) {
     auto w = std::make_unique<Workload>();
     w->relations = n / kPartsPerRelation;
     // Lookup workloads get headroom so the population is complete; the
-    // mixed workload runs exactly at capacity so inserts churn the clock.
-    size_t n_max = kind == Kind::kMixed ? n : n + kPartsPerRelation;
+    // mutating workloads run exactly at capacity so inserts churn the
+    // clock.
+    size_t n_max = kind == Kind::kLookup ? n + kPartsPerRelation : n;
     w->cache = std::make_unique<CaqpCache>(n_max, EvictionPolicy::kClock,
                                            /*enable_signatures=*/true,
-                                           indexed);
+                                           indexed, shards);
     for (size_t r = 0; r < w->relations; ++r) {
       std::string rel = "r" + std::to_string(r);
       for (size_t v = 0; v < kPartsPerRelation; ++v) {
         w->cache->Insert(Point(rel, static_cast<int64_t>(v)));
       }
     }
-    std::mt19937_64 rng(42);
-    const size_t kPoolSize = 8192;
     w->hit_probes.reserve(kPoolSize);
     w->miss_probes.reserve(kPoolSize);
     for (size_t i = 0; i < kPoolSize; ++i) {
-      std::string rel = "r" + std::to_string(rng() % w->relations);
+      std::string rel = "r" + std::to_string(i * w->relations / kPoolSize);
       w->hit_probes.push_back(
-          Point(rel, static_cast<int64_t>(rng() % kPartsPerRelation)));
+          Point(rel, static_cast<int64_t>(i % kPartsPerRelation)));
       w->miss_probes.push_back(
           Point(rel, static_cast<int64_t>(kPartsPerRelation +
-                                          rng() % kPartsPerRelation)));
+                                          i % kPartsPerRelation)));
     }
     slot = std::move(w);
   }
   return *slot;
 }
 
-void RunLookups(benchmark::State& state, bool indexed, bool hit) {
-  Workload& w =
-      GetWorkload(static_cast<size_t>(state.range(0)), indexed, Kind::kLookup);
+void RunLookups(benchmark::State& state, bool indexed, bool hit,
+                size_t shards) {
+  Workload& w = GetWorkload(static_cast<size_t>(state.range(0)), indexed,
+                            Kind::kLookup, shards);
+  ProbeSlice slice = SliceFor(hit ? w.hit_probes : w.miss_probes, state);
   std::mt19937_64 rng(7919 * (state.thread_index() + 1));
   for (auto _ : state) {
-    AtomicQueryPart probe = hit ? w.HitProbe(rng) : w.MissProbe(rng);
-    bool covered = w.cache->CoveredBy(probe);
+    bool covered = w.cache->CoveredBy(slice.Draw(rng));
     if (covered != hit) state.SkipWithError("unexpected lookup outcome");
     benchmark::DoNotOptimize(covered);
   }
@@ -115,31 +140,90 @@ void RunLookups(benchmark::State& state, bool indexed, bool hit) {
 }
 
 void BM_LookupHit(benchmark::State& state) {
-  RunLookups(state, /*indexed=*/true, /*hit=*/true);
+  RunLookups(state, /*indexed=*/true, /*hit=*/true, CaqpCache::kDefaultShards);
 }
 void BM_LookupMiss(benchmark::State& state) {
-  RunLookups(state, /*indexed=*/true, /*hit=*/false);
+  RunLookups(state, /*indexed=*/true, /*hit=*/false,
+             CaqpCache::kDefaultShards);
 }
 // The pre-index baseline: every probe scans all N/8 entries.
 void BM_LookupHitIndexOff(benchmark::State& state) {
-  RunLookups(state, /*indexed=*/false, /*hit=*/true);
+  RunLookups(state, /*indexed=*/false, /*hit=*/true,
+             CaqpCache::kDefaultShards);
 }
 void BM_LookupMissIndexOff(benchmark::State& state) {
-  RunLookups(state, /*indexed=*/false, /*hit=*/false);
+  RunLookups(state, /*indexed=*/false, /*hit=*/false,
+             CaqpCache::kDefaultShards);
+}
+// Shard sweep: same hit workload at shards=1/4/16. shards=1 is the
+// unsharded ablation baseline; the spread shows what sharding buys once
+// threads > 1 (on a 1-CPU container the curves collapse — see
+// EXPERIMENTS.md).
+void BM_LookupHitShards(benchmark::State& state) {
+  RunLookups(state, /*indexed=*/true, /*hit=*/true,
+             static_cast<size_t>(state.range(1)));
+}
+
+// Batched lookup: kBatchSize probes per CoveredByBatch call — one epoch
+// enter/exit and one counter flush amortized over the whole batch.
+// items_processed counts probes, so ns/item is directly comparable to
+// BM_LookupHit.
+void BM_BatchLookupHit(benchmark::State& state) {
+  Workload& w = GetWorkload(static_cast<size_t>(state.range(0)), true,
+                            Kind::kLookup, CaqpCache::kDefaultShards);
+  ProbeSlice slice = SliceFor(w.hit_probes, state);
+  std::mt19937_64 rng(7919 * (state.thread_index() + 1));
+  std::vector<const AtomicQueryPart*> batch(kBatchSize);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBatchSize; ++i) {
+      batch[i] = &slice.Draw(rng);
+    }
+    std::vector<uint8_t> verdicts = w.cache->CoveredByBatch(batch);
+    for (uint8_t v : verdicts) {
+      if (!v) state.SkipWithError("unexpected batch lookup outcome");
+    }
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchSize);
 }
 
 // 1 insert per 16 lookups at capacity: writers take the exclusive side,
-// drive eviction + entry GC, and mix with the shared-lock probe stream.
+// drive eviction + entry GC, and mix with the epoch-guarded probe stream.
 void BM_MixedInsertLookup(benchmark::State& state) {
-  Workload& w =
-      GetWorkload(static_cast<size_t>(state.range(0)), true, Kind::kMixed);
+  Workload& w = GetWorkload(static_cast<size_t>(state.range(0)), true,
+                            Kind::kMixed, CaqpCache::kDefaultShards);
+  ProbeSlice hits = SliceFor(w.hit_probes, state);
+  ProbeSlice misses = SliceFor(w.miss_probes, state);
   std::mt19937_64 rng(104729 * (state.thread_index() + 1));
   size_t op = 0;
   for (auto _ : state) {
     if ((op++ & 15) == 0) {
-      w.cache->Insert(w.MissProbe(rng));  // novel part => store + evict
+      w.cache->Insert(misses.Draw(rng));  // novel part => store + evict
     } else {
-      bool covered = w.cache->CoveredBy(w.HitProbe(rng));
+      bool covered = w.cache->CoveredBy(hits.Draw(rng));
+      benchmark::DoNotOptimize(covered);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Read-mostly 99/1 workload across the shard sweep: 99 lookups per
+// insert is the steady state the epoch design targets — readers never
+// block, and the rare writer touches one shard plus a copy-on-write
+// publish. range(1) is the shard count.
+void BM_ReadMostly99(benchmark::State& state) {
+  Workload& w = GetWorkload(static_cast<size_t>(state.range(0)), true,
+                            Kind::kReadMostly,
+                            static_cast<size_t>(state.range(1)));
+  ProbeSlice hits = SliceFor(w.hit_probes, state);
+  ProbeSlice misses = SliceFor(w.miss_probes, state);
+  std::mt19937_64 rng(15485863 * (state.thread_index() + 1));
+  size_t op = 0;
+  for (auto _ : state) {
+    if (op++ % 100 == 0) {
+      w.cache->Insert(misses.Draw(rng));
+    } else {
+      bool covered = w.cache->CoveredBy(hits.Draw(rng));
       benchmark::DoNotOptimize(covered);
     }
   }
@@ -168,8 +252,33 @@ BENCHMARK(BM_LookupMiss)
     ->UseRealTime();
 BENCHMARK(BM_LookupHitIndexOff)->Arg(1024)->Arg(4096)->Arg(16384);
 BENCHMARK(BM_LookupMissIndexOff)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_LookupHitShards)
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 16})
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_BatchLookupHit)
+    ->Arg(4096)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 BENCHMARK(BM_MixedInsertLookup)
     ->Arg(4096)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_ReadMostly99)
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 16})
     ->Threads(1)
     ->Threads(2)
     ->Threads(4)

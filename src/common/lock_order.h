@@ -22,8 +22,13 @@
 ///
 /// The order encodes the system's real layering:
 ///   Manager (10)      pipeline counters; never held across module calls
-///   CaqpCache (20)    C_aqp store; exclusive side calls the persistence
-///                     listener while held
+///   CaqpCache (20)    C_aqp maintenance gate; shard mutators hold the
+///                     shared side, Clear/SetChangeListener the exclusive
+///                     side
+///   CaqpShard (22)    one C_aqp shard's writer-side state; the shard
+///                     mutex calls the persistence listener while held
+///   Epoch (24)        EpochManager's limbo lists; Retire() runs under a
+///                     shard mutex
 ///   MvCache (30)      MV-baseline store; same listener pattern
 ///   StatsCatalog (40) optimizer statistics; leaf within the query path
 ///   Persistence (50)  durable mirror + journal; acquired under either
@@ -33,8 +38,9 @@
 ///   Metrics (70)      instrument registration; the universal leaf —
 ///                     any module may register instruments under its own
 ///                     lock
-/// Gaps of 10 leave room to slot in the next arc's locks (per-shard
-/// C_aqp locks, per-tenant server state) without renumbering.
+/// Gaps leave room to slot in the next arc's locks (per-tenant server
+/// state) without renumbering; 22/24 sit inside CaqpCache's gap because
+/// they are that module's internals.
 
 #include "common/thread_annotations.h"
 
@@ -43,8 +49,13 @@ namespace lock_order {
 
 /// EmptyResultManager::mu_ — aggregate counters + adaptive cost gate.
 inline constexpr LockRank kManager{10, "Manager"};
-/// CaqpCache::mu_ — the C_aqp entry/index store (reader/writer).
+/// CaqpCache::maint_mu_ — the cache-wide maintenance gate (shard
+/// mutators shared, Clear/SetChangeListener exclusive).
 inline constexpr LockRank kCaqpCache{20, "CaqpCache"};
+/// CaqpCache::Shard::mu — one shard's writer-side entries/postings/slots.
+inline constexpr LockRank kCaqpShard{22, "CaqpShard"};
+/// EpochManager::mu_ — limbo lists + epoch advancement.
+inline constexpr LockRank kEpoch{24, "Epoch"};
 /// MvEmptyCache::mu_ — the MV-baseline view store.
 inline constexpr LockRank kMvCache{30, "MvCache"};
 /// StatsCatalog::mu_ — per-column statistics snapshots.

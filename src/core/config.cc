@@ -20,6 +20,11 @@ Status EmptyResultConfig::Validate() const {
         "EmptyResultConfig.c_cost must be non-negative (0 checks every "
         "query)");
   }
+  if (shards == 0) {
+    return Status::InvalidArgument(
+        "EmptyResultConfig.shards must be positive: every C_aqp entry "
+        "needs a home shard (use shards=1 for the unsharded baseline)");
+  }
   if (dnf.max_terms == 0) {
     return Status::InvalidArgument(
         "EmptyResultConfig.dnf.max_terms must be positive: every "

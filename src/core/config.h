@@ -54,6 +54,13 @@ struct EmptyResultConfig {
   /// this knob isolates the lookup algorithm, not maintenance cost.
   bool enable_index = true;
 
+  /// Number of C_aqp shards. Each entry resides in the shard its first
+  /// relation name hashes to; lookups are lock-free against per-shard
+  /// published snapshots, so shards bound only writer contention. 1 is
+  /// the unsharded ablation baseline; the default matches
+  /// CaqpCache::kDefaultShards.
+  size_t shards = 8;
+
   /// Master switch; when false the manager always executes (baseline).
   bool detection_enabled = true;
 

@@ -158,29 +158,24 @@ StatusOr<PhysOpPtr> EmptyResultManager::Prepare(const std::string& sql) {
   return optimizer_.Optimize(planned.root);
 }
 
-StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
-    const Statement& stmt) {
-  ERQ_RETURN_IF_ERROR(init_status_);
-  Timer total_timer;
+Status EmptyResultManager::PrepareInto(const Statement& stmt,
+                                       PreparedStatement* prep) {
   metrics_.queries->Increment();
   {
     MutexLock lock(&mu_);
     ++stats_.queries;
   }
-  QueryOutcome outcome;
-
-  PlannedQuery planned;
+  QueryOutcome& outcome = prep->outcome;
   {
     ScopedSpan span(metrics_.stage_plan, &outcome.timings.plan_seconds);
-    ERQ_ASSIGN_OR_RETURN(planned, planner_.PlanStatement(stmt));
+    ERQ_ASSIGN_OR_RETURN(prep->planned, planner_.PlanStatement(stmt));
   }
-  PhysOpPtr physical;
   {
     ScopedSpan span(metrics_.stage_optimize,
                     &outcome.timings.optimize_seconds);
-    ERQ_ASSIGN_OR_RETURN(physical, optimizer_.Optimize(planned.root));
+    ERQ_ASSIGN_OR_RETURN(prep->physical, optimizer_.Optimize(prep->planned.root));
   }
-  outcome.estimated_cost = physical->estimated_cost;
+  outcome.estimated_cost = prep->physical->estimated_cost;
   {
     ScopedSpan span(metrics_.stage_gate, &outcome.timings.gate_seconds);
     outcome.high_cost = outcome.estimated_cost > EffectiveCostThreshold();
@@ -190,40 +185,147 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
     MutexLock lock(&mu_);
     ++stats_.low_cost;
   }
+  return Status::OK();
+}
+
+StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
+    const Statement& stmt) {
+  ERQ_RETURN_IF_ERROR(init_status_);
+  PreparedStatement prep;
+  ERQ_RETURN_IF_ERROR(PrepareInto(stmt, &prep));
 
   // §2.2: only high-cost queries are worth checking against C_aqp.
-  if (config_.detection_enabled && outcome.high_cost) {
-    CheckResult check;
+  std::optional<CheckResult> check;
+  if (config_.detection_enabled && prep.outcome.high_cost) {
     {
-      ScopedSpan span(metrics_.stage_check, &outcome.timings.check_seconds);
-      check = detector_.CheckEmpty(planned.root);
+      ScopedSpan span(metrics_.stage_check,
+                      &prep.outcome.timings.check_seconds);
+      check = detector_.CheckEmpty(prep.planned.root);
     }
     metrics_.checks->Increment();
     MutexLock lock(&mu_);
     ++stats_.checks;
-    if (check.provably_empty) {
-      outcome.detected_empty = true;
-      outcome.result_empty = true;
-      outcome.result.layout = physical->layout;
-      outcome.plan = physical;
-      EmptyResultExplanation explanation;
-      explanation.annotated_plan = physical->ToString();
-      char cause[128];
-      std::snprintf(cause, sizeof(cause),
-                    "proven empty from C_aqp without execution (%zu atomic "
-                    "query part(s) checked)",
-                    check.parts_checked);
-      explanation.minimal_causes.push_back(cause);
-      outcome.explanation = std::move(explanation);
-      metrics_.detected_empty->Increment();
+  }
+  return FinishChecked(std::move(prep), std::move(check));
+}
+
+std::vector<StatusOr<QueryOutcome>> EmptyResultManager::QueryBatch(
+    const std::vector<std::string>& sqls) {
+  std::vector<StatusOr<QueryOutcome>> out;
+  out.reserve(sqls.size());
+  if (!init_status_.ok()) {
+    for (size_t i = 0; i < sqls.size(); ++i) out.emplace_back(init_status_);
+    return out;
+  }
+
+  // Phase 1: parse + prepare every statement. Failures settle their slot
+  // immediately; survivors queue for the batched check.
+  struct Pending {
+    size_t index;  // slot in `results`
+    PreparedStatement prep;
+    double parse_seconds = 0.0;
+  };
+  std::vector<std::optional<StatusOr<QueryOutcome>>> results(sqls.size());
+  std::vector<Pending> pending;
+  pending.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    Pending p;
+    p.index = i;
+    std::unique_ptr<Statement> stmt;
+    {
+      ScopedSpan span(metrics_.stage_parse, &p.parse_seconds);
+      StatusOr<std::unique_ptr<Statement>> parsed = Parser::Parse(sqls[i]);
+      if (!parsed.ok()) {
+        results[i] = parsed.status();
+        continue;
+      }
+      stmt = std::move(parsed).value();
+    }
+    Status prepared = PrepareInto(*stmt, &p.prep);
+    if (!prepared.ok()) {
+      results[i] = std::move(prepared);
+      continue;
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // Phase 2: one batched C_aqp probe over every high-cost candidate.
+  std::vector<LogicalOpPtr> roots;
+  std::vector<size_t> checked;  // indices into `pending`
+  for (size_t k = 0; k < pending.size(); ++k) {
+    if (config_.detection_enabled && pending[k].prep.outcome.high_cost) {
+      roots.push_back(pending[k].prep.planned.root);
+      checked.push_back(k);
+    }
+  }
+  std::vector<std::optional<CheckResult>> verdicts(pending.size());
+  if (!roots.empty()) {
+    double batch_check_seconds = 0.0;
+    std::vector<CheckResult> batch;
+    {
+      ScopedSpan span(metrics_.stage_check, &batch_check_seconds);
+      batch = detector_.CheckEmptyBatch(roots);
+    }
+    // The probe ran once for everyone: attribute an even share of its
+    // cost to each checked query's check_seconds.
+    const double share = batch_check_seconds / static_cast<double>(
+                                                   checked.size());
+    for (size_t j = 0; j < checked.size(); ++j) {
+      verdicts[checked[j]] = batch[j];
+      pending[checked[j]].prep.outcome.timings.check_seconds = share;
+    }
+    metrics_.checks->Increment(checked.size());
+    MutexLock lock(&mu_);
+    stats_.checks += checked.size();
+  }
+
+  // Phase 3: finish each query independently, in input order.
+  for (Pending& p : pending) {
+    StatusOr<QueryOutcome> finished =
+        FinishChecked(std::move(p.prep), verdicts[&p - pending.data()]);
+    if (finished.ok()) {
+      finished->timings.parse_seconds = p.parse_seconds;
+      finished->timings.total_seconds += p.parse_seconds;
+    }
+    results[p.index] = std::move(finished);
+  }
+  for (std::optional<StatusOr<QueryOutcome>>& r : results) {
+    out.push_back(*std::move(r));
+  }
+  return out;
+}
+
+StatusOr<QueryOutcome> EmptyResultManager::FinishChecked(
+    PreparedStatement prep, std::optional<CheckResult> check) {
+  QueryOutcome outcome = std::move(prep.outcome);
+  PhysOpPtr physical = std::move(prep.physical);
+  Timer& total_timer = prep.total_timer;
+
+  if (check.has_value() && check->provably_empty) {
+    outcome.detected_empty = true;
+    outcome.result_empty = true;
+    outcome.result.layout = physical->layout;
+    outcome.plan = physical;
+    EmptyResultExplanation explanation;
+    explanation.annotated_plan = physical->ToString();
+    char cause[128];
+    std::snprintf(cause, sizeof(cause),
+                  "proven empty from C_aqp without execution (%zu atomic "
+                  "query part(s) checked)",
+                  check->parts_checked);
+    explanation.minimal_causes.push_back(cause);
+    outcome.explanation = std::move(explanation);
+    metrics_.detected_empty->Increment();
+    {
+      MutexLock lock(&mu_);
       ++stats_.detected_empty;
       stats_.execute_seconds_saved_estimate += outcome.estimated_cost;
       cost_gate_.ObserveDetected(outcome.estimated_cost,
                                  outcome.timings.check_seconds);
-      outcome.timings.total_seconds = total_timer.Seconds();
-      metrics_.query_total->Observe(outcome.timings.total_seconds);
-      return outcome;
     }
+    outcome.timings.total_seconds = total_timer.Seconds();
+    metrics_.query_total->Observe(outcome.timings.total_seconds);
+    return outcome;
   }
 
   if (config_.detection_enabled && outcome.high_cost) {
@@ -232,7 +334,7 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
     LogicalOpPtr pruned;
     {
       ScopedSpan span(metrics_.stage_check, &outcome.timings.check_seconds);
-      pruned = detector_.PrunePlan(planned.root, &outcome.branches_pruned);
+      pruned = detector_.PrunePlan(prep.planned.root, &outcome.branches_pruned);
     }
     if (outcome.branches_pruned > 0) {
       metrics_.branches_pruned->Increment(outcome.branches_pruned);

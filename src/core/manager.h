@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/lock_order.h"
 #include "common/metrics.h"
@@ -145,6 +146,17 @@ class EmptyResultManager {
   /// Full workflow for a parsed statement.
   ERQ_NODISCARD StatusOr<QueryOutcome> QueryStatement(const Statement& stmt);
 
+  /// Full workflow for a batch of SQL strings, returned in input order
+  /// (one StatusOr per query: a parse/plan error in one statement does
+  /// not fail the rest). Each query is parsed and prepared individually;
+  /// then every high-cost candidate is checked against C_aqp in a single
+  /// batched lookup (EmptyResultDetector::CheckEmptyBatch — one epoch
+  /// critical section, shard snapshots loaded once); then each query
+  /// finishes exactly like QueryStatement. Per-query `check_seconds` is
+  /// the batch check time split evenly across the checked queries.
+  std::vector<StatusOr<QueryOutcome>> QueryBatch(
+      const std::vector<std::string>& sqls);
+
   /// Plans and optimizes without the detection workflow (for tools/tests).
   ERQ_NODISCARD StatusOr<PhysOpPtr> Prepare(const std::string& sql);
 
@@ -202,6 +214,28 @@ class EmptyResultManager {
     Counter* branches_pruned;
   };
   static Instruments ResolveInstruments();
+
+  /// One statement mid-pipeline: planned, optimized, and cost-gated, but
+  /// not yet checked or executed. `total_timer` starts at construction so
+  /// `outcome.timings.total_seconds` covers the whole per-query span even
+  /// when the check happens in a batch.
+  struct PreparedStatement {
+    PlannedQuery planned;
+    PhysOpPtr physical;
+    QueryOutcome outcome;
+    Timer total_timer;
+  };
+
+  /// plan -> optimize -> cost gate (the pipeline prefix shared by
+  /// QueryStatement and QueryBatch). Counts the query and fills
+  /// `prep->outcome`'s cost/gate fields and stage timings.
+  Status PrepareInto(const Statement& stmt, PreparedStatement* prep);
+
+  /// The pipeline suffix: consume a detection verdict (nullopt when the
+  /// query never reached the check — low-cost or detection disabled),
+  /// then prune/re-optimize, execute, explain, and harvest.
+  StatusOr<QueryOutcome> FinishChecked(PreparedStatement prep,
+                                       std::optional<CheckResult> check);
 
   Catalog* catalog_;
   StatsCatalog* stats_catalog_;

@@ -211,7 +211,10 @@ TEST(CaqpCacheTest, IndexOffStillCorrect) {
 // empty entry.items but leave the Entry and its entry_index_ key behind
 // forever, so churny update workloads grew entries_ without bound.
 TEST(CaqpCacheTest, EntryGarbageCollectionBoundsGrowth) {
-  CaqpCache cache(1000);
+  // One shard: with N shards the per-shard free lists can each hold a
+  // slot, so the allocation bound below would scale with shard count.
+  CaqpCache cache(1000, EvictionPolicy::kClock, /*enable_signatures=*/true,
+                  /*enable_index=*/true, /*shards=*/1);
   for (int round = 0; round < 100; ++round) {
     // Each round uses fresh relation names => fresh entries.
     std::string rel = "t" + std::to_string(round);
@@ -238,7 +241,9 @@ TEST(CaqpCacheTest, EvictionReclaimsEmptyEntries) {
   for (EvictionPolicy policy :
        {EvictionPolicy::kClock, EvictionPolicy::kLru, EvictionPolicy::kFifo}) {
     SCOPED_TRACE(static_cast<int>(policy));
-    CaqpCache cache(4, policy);
+    // One shard: the allocated-slot bound assumes a single free list.
+    CaqpCache cache(4, policy, /*enable_signatures=*/true,
+                    /*enable_index=*/true, /*shards=*/1);
     // Four parts over four distinct relation sets: evicting a part must
     // also reclaim its singleton entry.
     for (int64_t i = 0; i < 4; ++i) {
@@ -346,6 +351,104 @@ TEST(CaqpCacheTest, PaperSection22CombinationExample) {
   // Q decomposes into two parts; both must be covered.
   EXPECT_TRUE(cache.CoveredBy(Point("a", "a", 50)));
   EXPECT_TRUE(cache.CoveredBy(Point("a", "a", 60)));
+}
+
+// The sharded cache must behave identically at every shard count: the
+// whole public contract — coverage, redundancy, displacement, capacity,
+// invalidation — is shard-transparent.
+TEST(CaqpCacheTest, ShardCountIsBehaviorTransparent) {
+  for (size_t shards : {1u, 4u, 16u}) {
+    SCOPED_TRACE(shards);
+    CaqpCache cache(100, EvictionPolicy::kClock, true, true, shards);
+    EXPECT_EQ(cache.shard_count(), shards);
+    // Spread entries across relation names (=> across shards).
+    for (int64_t i = 0; i < 20; ++i) {
+      cache.Insert(Point(("r" + std::to_string(i)).c_str(), "x", i));
+    }
+    EXPECT_EQ(cache.size(), 20u);
+    for (int64_t i = 0; i < 20; ++i) {
+      EXPECT_TRUE(cache.CoveredBy(Point(("r" + std::to_string(i)).c_str(),
+                                        "x", i)));
+      EXPECT_FALSE(cache.CoveredBy(Point(("r" + std::to_string(i)).c_str(),
+                                         "x", i + 100)));
+    }
+    // Displacement reaches entries in other shards: {r3} with TRUE covers
+    // any part mentioning r3, wherever its entry lives.
+    AtomicQueryPart r3_empty(RelationSet({"r3"}), Conjunction{});
+    cache.Insert(r3_empty);
+    EXPECT_EQ(cache.size(), 20u);  // one displaced, one inserted
+    EXPECT_TRUE(cache.CoveredBy(Point("r3", "x", 3)));
+    cache.InvalidateRelation("r5");
+    EXPECT_FALSE(cache.CoveredBy(Point("r5", "x", 5)));
+    EXPECT_EQ(cache.size(), 19u);
+    CaqpCache::CacheStats stats = cache.stats_snapshot();
+    EXPECT_EQ(stats.shards, shards);
+    EXPECT_GE(stats.shard_max_live, 1u);
+  }
+}
+
+// A stored multi-relation part resides in the shard of its *first*
+// relation name but must be found through any of the probe's names.
+TEST(CaqpCacheTest, MultiRelationEntriesFoundAcrossShards) {
+  CaqpCache cache(100, EvictionPolicy::kClock, true, true, 16);
+  AtomicQueryPart joined(
+      RelationSet({"orders", "lineitem"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("orders", "k"), ValueInterval::Point(Value::Int(5)))}));
+  cache.Insert(joined);
+  // Probe with a superset relation set whose own first name is different:
+  // the candidate walk goes through "orders"/"lineitem"'s home shards.
+  AtomicQueryPart wider(
+      RelationSet({"customer", "lineitem", "orders"}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make("orders", "k"), ValueInterval::Point(Value::Int(5)))}));
+  EXPECT_TRUE(cache.CoveredBy(wider));
+}
+
+TEST(CaqpCacheTest, BatchLookupMatchesSingleLookups) {
+  CaqpCache cache(100, EvictionPolicy::kClock, true, true, 4);
+  for (int64_t i = 0; i < 10; ++i) {
+    cache.Insert(Point(("t" + std::to_string(i)).c_str(), "x", i));
+  }
+  std::vector<AtomicQueryPart> probes;
+  for (int64_t i = 0; i < 20; ++i) {
+    // Even probes hit (stored value), odd probes miss (novel value).
+    probes.push_back(Point(("t" + std::to_string(i % 10)).c_str(), "x",
+                           i % 2 == 0 ? i / 2 : i + 50));
+  }
+  std::vector<const AtomicQueryPart*> ptrs;
+  for (const AtomicQueryPart& p : probes) ptrs.push_back(&p);
+  std::vector<uint8_t> batch = cache.CoveredByBatch(ptrs);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batch[i] != 0, cache.CoveredBy(probes[i])) << "probe " << i;
+  }
+  // The batch counted each probe as one lookup.
+  EXPECT_EQ(cache.stats_snapshot().lookups, 2 * probes.size());
+}
+
+TEST(CaqpCacheTest, BatchLookupEmptyAndMarksRecency) {
+  CaqpCache cache(2, EvictionPolicy::kLru, true, true, 2);
+  EXPECT_TRUE(cache.CoveredByBatch({}).empty());
+  cache.Insert(Point("t", "x", 1));
+  cache.Insert(Point("u", "x", 2));
+  // Touch t's part via the batch path, then insert at capacity: LRU must
+  // evict u's part, proving the batch lookup refreshed recency.
+  AtomicQueryPart probe = Point("t", "x", 1);
+  std::vector<const AtomicQueryPart*> ptrs{&probe};
+  EXPECT_EQ(cache.CoveredByBatch(ptrs), std::vector<uint8_t>{1});
+  cache.Insert(Point("v", "x", 3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.CoveredBy(Point("t", "x", 1)));
+  EXPECT_FALSE(cache.CoveredBy(Point("u", "x", 2)));
+}
+
+TEST(CaqpCacheTest, SnapshotSeesAllShards) {
+  CaqpCache cache(100, EvictionPolicy::kClock, true, true, 8);
+  for (int64_t i = 0; i < 12; ++i) {
+    cache.Insert(Point(("s" + std::to_string(i)).c_str(), "x", i));
+  }
+  EXPECT_EQ(cache.Snapshot().size(), 12u);
 }
 
 }  // namespace

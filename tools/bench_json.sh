@@ -55,7 +55,19 @@ else
   echo "note: $METRICS_BIN not built; skipping metrics snapshot" >&2
 fi
 
-python3 - "$TMP" "$OUT" <<'PY'
+# Concurrency configuration the numbers depend on, extracted from the
+# sources so the recorded context can never drift from the code: the
+# default C_aqp shard count (BM_LookupHitShards/BM_ReadMostly99 sweep
+# 1/4/16; every other benchmark uses the default) and the epoch
+# reclamation geometry (bucket count x reader-count stripes).
+CAQP_SHARDS=$(grep -oE 'kDefaultShards = [0-9]+' src/core/caqp_cache.h \
+  | grep -oE '[0-9]+')
+EPOCH_BUCKETS=$(grep -oE 'active_\[[0-9]+\]' src/common/epoch.h \
+  | head -1 | grep -oE '[0-9]+')
+EPOCH_STRIPES=$(grep -oE 'kStripes = [0-9]+' src/common/epoch.h \
+  | grep -oE '[0-9]+')
+
+python3 - "$TMP" "$OUT" "$CAQP_SHARDS" "$EPOCH_BUCKETS" "$EPOCH_STRIPES" <<'PY'
 import json, os, subprocess, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
@@ -83,6 +95,9 @@ rev = subprocess.run(
 ).stdout.strip()
 if rev:
     merged["context"]["git_revision"] = rev
+merged["context"]["caqp_default_shards"] = int(sys.argv[3])
+merged["context"]["epoch_buckets"] = int(sys.argv[4])
+merged["context"]["epoch_stripes"] = int(sys.argv[5])
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=1, sort_keys=True)

@@ -195,6 +195,14 @@ run_bench() {
   cmake --build "$dir" -j "$JOBS" \
     --target bench_concurrent bench_micro metrics_dump \
     || { bad "bench (build)"; return 1; }
+  # Batched-lookup smoke: CheckEmptyBatch/CoveredByBatch is a distinct
+  # code path (one epoch pin + one counter flush per batch), so prove it
+  # runs before the full snapshot.
+  log "bench: batched-lookup smoke (CoveredByBatch path)"
+  "$dir/bench/bench_concurrent" \
+      --benchmark_filter='BM_BatchLookupHit/4096/real_time/threads:1$' \
+      --benchmark_min_time="${BENCH_MIN_TIME:-0.01}" \
+    || { bad "bench (batch smoke)"; return 1; }
   log "bench: tools/bench_json.sh"
   tools/bench_json.sh "$dir" || { bad "bench (run)"; return 1; }
   ok "bench"

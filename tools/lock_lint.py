@@ -186,6 +186,13 @@ ACQUIRED_BEFORE_RE = re.compile(r"ERQ_ACQUIRED_BEFORE\s*\(([^)]*)\)")
 RANK_INIT_RE = re.compile(r"\{\s*lock_order::(\w+)\s*\}")
 LOCK_GUARD_RE = re.compile(
     r"\b(MutexLock|ReaderMutexLock|WriterMutexLock)\s+\w+\s*\(\s*&\s*([\w>\-.]+)\s*\)")
+# An EpochReadGuard pins epoch-based reclamation for its whole scope. The
+# linter models it as a pseudo-lock (id "<epoch>") so that acquiring ANY
+# mutex inside the guard scope — directly or through a call — is an error:
+# a blocked epoch reader stalls reclamation for every writer.
+EPOCH_GUARD_RE = re.compile(
+    r"\bEpochReadGuard\s+\w+\s*\(\s*&\s*([\w>\-.]+)\s*\)")
+EPOCH_SENTINEL = "<epoch>"
 CALL_RE = re.compile(
     r"((?:[\w:]+(?:->|\.))*)((?:\w+::)*[\w~]+)\s*\(")
 CLASS_HEAD_RE = re.compile(r"\b(class|struct|union)\s+([A-Za-z_]\w*)\b[^;=()]*$")
@@ -497,6 +504,16 @@ class FileScanner:
             fn.events.append(("acquire", m.group(2), m.group(1), stmt_line,
                               held, self.rel))
         text = LOCK_GUARD_RE.sub(lambda m: " " * len(m.group(0)), text)
+        # Epoch critical sections: pushed as the "<epoch>" pseudo-lock so
+        # any mutex acquired while the guard is live produces an
+        # ("<epoch>", mutex) edge (see check_edges).
+        for m in EPOCH_GUARD_RE.finditer(text):
+            held = [(lk[0], lk[1], lk[2]) for lk in self.locks]
+            self.locks.append((EPOCH_SENTINEL, "EpochReadGuard", stmt_line,
+                               len(self.scopes)))
+            fn.events.append(("acquire", EPOCH_SENTINEL, "EpochReadGuard",
+                              stmt_line, held, self.rel))
+        text = EPOCH_GUARD_RE.sub(lambda m: " " * len(m.group(0)), text)
         stripped = strip_erq_macros(text)
         if full:
             lm = LOCAL_DECL_RE.match(stripped)
@@ -651,6 +668,8 @@ class Analyzer:
 
     def resolve_lock_expr(self, fn, expr, file, line):
         """Maps `mu_` / `p->mu_` to a registered mutex id."""
+        if expr == EPOCH_SENTINEL:
+            return EPOCH_SENTINEL
         context_cls = fn.key[0] or None
         parts = [p for p in re.split(r"->|\.", expr) if p]
         member = parts[-1]
@@ -728,6 +747,8 @@ class Analyzer:
     def try_lock_expr(self, fn, expr):
         """Like resolve_lock_expr but silent (held locks were already
         diagnosed at their own acquisition site)."""
+        if expr == EPOCH_SENTINEL:
+            return EPOCH_SENTINEL
         context_cls = fn.key[0] or None
         parts = [p for p in re.split(r"->|\.", expr) if p]
         member = parts[-1]
@@ -828,6 +849,25 @@ class Analyzer:
                                     (key, ev[3], ev[5], target))
         self.edges = edges
         for (a, b), (fn_key, line, file, via) in sorted(edges.items()):
+            if a == EPOCH_SENTINEL or b == EPOCH_SENTINEL:
+                # Entering an epoch while holding a mutex is fine (Enter
+                # never blocks), and nested pins are harmless; only a
+                # mutex acquired *inside* the guard scope is an error.
+                if a == EPOCH_SENTINEL and b != EPOCH_SENTINEL:
+                    detail = ""
+                    if via is not None:
+                        steps = self.effect_chain(via, b)
+                        if steps:
+                            detail = ("; call path: " + " -> ".join(
+                                [self.fn_name(fn_key)] + steps))
+                    self.errors.append((file, line,
+                        f"epoch-guard violation: mutex '{b}' acquired "
+                        "inside an EpochReadGuard critical section in "
+                        f"{self.fn_name(fn_key)}; epoch readers must never "
+                        "block (a stalled reader pins every retired "
+                        "snapshot) — move the acquisition outside the guard "
+                        f"scope{detail}"))
+                continue
             la, lb = self.level_of(a), self.level_of(b)
             if la is None or lb is None:
                 continue  # unannotated mutexes already reported
@@ -856,7 +896,10 @@ class Analyzer:
     def check_cycles(self):
         graph = defaultdict(set)
         for (a, b) in self.edges:
-            if a != b:
+            # The "<epoch>" pseudo-lock never blocks, so it cannot
+            # participate in a deadlock cycle; its edges are diagnosed
+            # separately in check_edges.
+            if a != b and EPOCH_SENTINEL not in (a, b):
                 graph[a].add(b)
         seen_cycles = set()
         state = {}

@@ -1,0 +1,28 @@
+#include "cache.h"
+
+namespace erq {
+
+// Clean shape: the counter flush waits until the guard scope has
+// closed, so the reader never blocks while pinning an epoch.
+int Cache::Lookup() const {
+  int hit = 0;
+  {
+    EpochReadGuard guard(&epoch_);
+    hit = published_;
+  }
+  MutexLock lock(&mu_);
+  ++lookups_;
+  return hit;
+}
+
+// Seeded violation: the shard mutex is acquired while the epoch guard
+// is still open — a reader stalled on mu_ pins every retired snapshot.
+int Cache::LookupAndCount() const {
+  EpochReadGuard guard(&epoch_);
+  int hit = published_;
+  MutexLock lock(&mu_);
+  ++lookups_;
+  return hit;
+}
+
+}  // namespace erq

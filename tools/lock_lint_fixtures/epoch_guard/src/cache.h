@@ -1,0 +1,27 @@
+#pragma once
+// Miniature sharded cache: lock-free epoch-guarded readers plus a shard
+// mutex for maintenance. The seeded bug takes the shard mutex while the
+// epoch guard is still pinning retired snapshots.
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace erq {
+
+// Stand-in for the real src/common/epoch.h manager; Enter/Exit never
+// block, so the guard carries no rank of its own.
+class EpochManager {};
+
+class Cache {
+ public:
+  int Lookup() const;
+  int LookupAndCount() const;
+
+ private:
+  mutable Mutex mu_
+      ERQ_ACQUIRED_AFTER(lock_order::kCaqpShard){lock_order::kCaqpShard};
+  mutable int lookups_ ERQ_GUARDED_BY(mu_) = 0;
+  mutable EpochManager epoch_;
+  int published_ = 0;
+};
+
+}  // namespace erq

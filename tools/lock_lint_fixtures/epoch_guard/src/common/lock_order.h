@@ -1,0 +1,12 @@
+#pragma once
+// Fixture rank table mirroring the real hierarchy's shard level; the
+// epoch pseudo-lock itself has no rank (it never blocks).
+#include "common/thread_annotations.h"
+
+namespace erq {
+namespace lock_order {
+
+inline constexpr LockRank kCaqpShard{22, "CaqpShard"};
+
+}  // namespace lock_order
+}  // namespace erq

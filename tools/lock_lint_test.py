@@ -47,6 +47,18 @@ CASES = [
         "stderr_contains": ["lock_lint: 1 error(s)"],
     },
     {
+        "name": "epoch_guard",
+        "exit": 1,
+        "stdout": [
+            "src/cache.cc:23: error: epoch-guard violation: mutex "
+            "'Cache::mu_' acquired inside an EpochReadGuard critical "
+            "section in Cache::LookupAndCount; epoch readers must never "
+            "block (a stalled reader pins every retired snapshot) — move "
+            "the acquisition outside the guard scope",
+        ],
+        "stderr_contains": ["lock_lint: 1 error(s)"],
+    },
+    {
         "name": "held_across_call",
         "exit": 1,
         "stdout": [
