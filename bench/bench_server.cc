@@ -1,0 +1,295 @@
+// Closed-loop throughput/latency benchmark for erq_server: real TCP
+// clients against a live server, swept over concurrent connections ×
+// tenant count × C_aqp hit rate (the fraction of requests answered by
+// detection instead of execution). Each cell starts a fresh server
+// (fresh tenant registry, cold caches), seeds every tenant's private
+// empty query once, then drives `--requests` keep-alive requests per
+// connection and reports sustained throughput plus latency percentiles.
+//
+// Unlike the engine benchmarks this one is a plain driver, not a
+// google-benchmark harness: the measured unit is a full network round
+// trip through accept/parse/handle/respond, so the closed loop itself
+// is the fixture and wall-clock per cell is the denominator.
+//
+//   $ bench_server [--requests N] [--customers-per-unit N] [--out FILE]
+//
+// Output: the erq.bench.server.v1 JSON document (committed as
+// BENCH_server.json at the repo root), one object per sweep cell with
+// throughput_qps and p50/p90/p99/max latency in seconds.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "server/server.h"
+
+using namespace erq;
+
+namespace {
+
+struct CellResult {
+  size_t connections = 0;
+  size_t tenants = 0;
+  double hit_rate = 0.0;
+  size_t requests = 0;   // completed round trips
+  size_t failures = 0;   // transport or non-200 failures
+  size_t detected = 0;   // requests answered by C_aqp detection
+  double seconds = 0.0;  // wall clock for the whole cell
+  std::vector<double> latencies;  // per-request seconds, unsorted
+};
+
+std::string TenantName(size_t i) { return "bench_" + std::to_string(i); }
+
+/// The tenant's private always-empty point query (custkey far above the
+/// populated range; the offset keeps each tenant's stored part distinct).
+std::string EmptyQuery(size_t tenant) {
+  return "select * from customer where custkey = " +
+         std::to_string(1000000000 + static_cast<int64_t>(tenant));
+}
+
+/// A non-empty indexed point lookup (custkey is 0..num_customers-1).
+std::string PointQuery(size_t custkey) {
+  return "select * from customer where custkey = " + std::to_string(custkey);
+}
+
+std::string QueryBody(const std::string& tenant, const std::string& sql) {
+  return "{\"tenant\":" + JsonQuote(tenant) + ",\"sql\":" + JsonQuote(sql) +
+         ",\"row_limit\":1}";
+}
+
+/// One client thread: a keep-alive connection issuing `requests` POSTs,
+/// drawing the tenant's empty query with probability `hit_rate`.
+void ClientLoop(uint16_t port, size_t tenant_count, size_t client,
+                size_t requests, double hit_rate, size_t num_customers,
+                uint64_t seed, CellResult* out, std::atomic<size_t>* failures,
+                std::atomic<size_t>* detected) {
+  StatusOr<Socket> socket = Socket::Connect("127.0.0.1", port);
+  if (!socket.ok()) {
+    failures->fetch_add(requests, std::memory_order_relaxed);
+    return;
+  }
+  const std::string tenant = TenantName(client % tenant_count);
+  const std::string empty_sql = EmptyQuery(client % tenant_count);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<size_t> keys(0, num_customers - 1);
+
+  size_t local_detected = 0;
+  for (size_t i = 0; i < requests; ++i) {
+    HttpRequest request;
+    request.method = "POST";
+    request.path = "/v1/query";
+    const bool want_hit = coin(rng) < hit_rate;
+    request.body =
+        QueryBody(tenant, want_hit ? empty_sql : PointQuery(keys(rng)));
+
+    const auto start = std::chrono::steady_clock::now();
+    if (!socket->SendAll(request.Serialize("127.0.0.1")).ok()) {
+      failures->fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    int code = 0;
+    std::string body;
+    if (!ReadHttpResponse(&*socket, &code, &body).ok() || code != 200) {
+      failures->fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    out->latencies[client * requests + i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    // Cheap wire-level detection check, avoiding a JSON parse per request
+    // in the timed loop.
+    if (want_hit && body.find("\"detected_empty\":true") != std::string::npos) {
+      ++local_detected;
+    }
+  }
+  detected->fetch_add(local_detected, std::memory_order_relaxed);
+}
+
+CellResult RunCell(Catalog* catalog, StatsCatalog* stats, size_t connections,
+                   size_t tenant_count, double hit_rate, size_t requests,
+                   size_t num_customers) {
+  ServerOptions options;
+  options.port = 0;
+  options.max_connections = connections + 8;
+  options.max_tenants = tenant_count + 1;  // sweep tenants + "default"
+  options.global_n_max = 1000 * (tenant_count + 1);
+  options.tenant_config.c_cost = 0.0;
+  ErqServer server(catalog, stats, options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::abort();
+  }
+
+  CellResult cell;
+  cell.connections = connections;
+  cell.tenants = tenant_count;
+  cell.hit_rate = hit_rate;
+  cell.latencies.assign(connections * requests, 0.0);
+
+  // Seed each tenant's empty query once (executes + harvests) so the
+  // timed loop measures steady-state detection, not first-touch harvest.
+  for (size_t t = 0; t < tenant_count; ++t) {
+    StatusOr<Socket> seed = Socket::Connect("127.0.0.1", server.port());
+    if (!seed.ok()) std::abort();
+    HttpRequest request;
+    request.method = "POST";
+    request.path = "/v1/query";
+    request.body = QueryBody(TenantName(t), EmptyQuery(t));
+    if (!seed->SendAll(request.Serialize("127.0.0.1")).ok()) std::abort();
+    int code = 0;
+    std::string body;
+    if (!ReadHttpResponse(&*seed, &code, &body).ok() || code != 200) {
+      std::abort();
+    }
+  }
+
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> detected{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back(ClientLoop, server.port(), tenant_count, c, requests,
+                         hit_rate, num_customers, /*seed=*/0x9E3779B9 + c,
+                         &cell, &failures, &detected);
+  }
+  for (std::thread& t : clients) t.join();
+  cell.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+
+  cell.failures = failures.load();
+  cell.detected = detected.load();
+  cell.requests = connections * requests - cell.failures;
+  // Drop unfilled slots from aborted clients before ranking.
+  cell.latencies.erase(
+      std::remove(cell.latencies.begin(), cell.latencies.end(), 0.0),
+      cell.latencies.end());
+  std::sort(cell.latencies.begin(), cell.latencies.end());
+  return cell;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+std::string CellJson(const CellResult& c) {
+  std::string out = "  {\"connections\": " + std::to_string(c.connections);
+  out += ", \"tenants\": " + std::to_string(c.tenants);
+  out += ", \"hit_rate\": " + JsonNumber(c.hit_rate);
+  out += ", \"requests\": " + std::to_string(c.requests);
+  out += ", \"failures\": " + std::to_string(c.failures);
+  out += ", \"detected_empty\": " + std::to_string(c.detected);
+  out += ", \"seconds\": " + JsonNumber(c.seconds);
+  const double qps =
+      c.seconds > 0.0 ? static_cast<double>(c.requests) / c.seconds : 0.0;
+  out += ", \"throughput_qps\": " + JsonNumber(qps);
+  out += ", \"latency_seconds\": {\"p50\": " +
+         JsonNumber(Percentile(c.latencies, 0.50));
+  out += ", \"p90\": " + JsonNumber(Percentile(c.latencies, 0.90));
+  out += ", \"p99\": " + JsonNumber(Percentile(c.latencies, 0.99));
+  out += ", \"max\": " + JsonNumber(c.latencies.empty()
+                                        ? 0.0
+                                        : c.latencies.back());
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t requests = 300;  // per connection, per cell
+  size_t customers_per_unit = 500;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--customers-per-unit") == 0 &&
+               i + 1 < argc) {
+      customers_per_unit = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--requests N] [--customers-per-unit N] "
+                   "[--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "erq_server closed-loop throughput",
+      "connections x tenants x hit-rate sweep over live TCP clients");
+  bench::Environment env =
+      bench::Environment::Build(/*scale=*/1.0, /*seed=*/42,
+                                customers_per_unit);
+  const size_t num_customers = customers_per_unit;  // scale 1.0
+
+  const size_t connection_sweep[] = {1, 8, 64};
+  const size_t tenant_sweep[] = {1, 4};
+  const double hit_sweep[] = {0.1, 0.9};
+
+  std::string json = "{\n \"schema\": \"erq.bench.server.v1\",\n";
+  json += " \"fixture\": {\"workload\": \"tpcr\", \"customers\": " +
+          std::to_string(num_customers) +
+          ", \"requests_per_connection\": " + std::to_string(requests) +
+          "},\n \"cells\": [\n";
+  bool first = true;
+  for (size_t connections : connection_sweep) {
+    for (size_t tenants : tenant_sweep) {
+      for (double hit_rate : hit_sweep) {
+        CellResult cell =
+            RunCell(env.catalog.get(), env.stats.get(), connections, tenants,
+                    hit_rate, requests, num_customers);
+        std::printf(
+            "conns=%2zu tenants=%zu hit=%.1f  %8.0f qps  p50=%7.1fus  "
+            "p99=%7.1fus  (%zu req, %zu failed, %zu detected)\n",
+            connections, tenants, hit_rate,
+            cell.seconds > 0.0
+                ? static_cast<double>(cell.requests) / cell.seconds
+                : 0.0,
+            Percentile(cell.latencies, 0.50) * 1e6,
+            Percentile(cell.latencies, 0.99) * 1e6, cell.requests,
+            cell.failures, cell.detected);
+        if (cell.failures > 0) {
+          std::fprintf(stderr, "cell had %zu failures\n", cell.failures);
+          return 1;
+        }
+        if (!first) json += ",\n";
+        first = false;
+        json += CellJson(cell);
+      }
+    }
+  }
+  json += "\n ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}

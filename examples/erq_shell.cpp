@@ -21,30 +21,13 @@
 
 #include "core/explain.h"
 #include "core/manager.h"
+#include "core/query_api.h"
 #include "core/serialize.h"
 #include "workload/tpcr.h"
 
 using namespace erq;
 
 namespace {
-
-void PrintRows(const ExecutionResult& result, size_t limit = 20) {
-  for (size_t c = 0; c < result.layout.size(); ++c) {
-    std::printf("%s%s", c > 0 ? " | " : "",
-                result.layout.column(c).column.c_str());
-  }
-  std::printf("\n");
-  for (size_t r = 0; r < result.rows.size() && r < limit; ++r) {
-    for (size_t c = 0; c < result.rows[r].size(); ++c) {
-      std::printf("%s%s", c > 0 ? " | " : "",
-                  result.rows[r][c].ToString().c_str());
-    }
-    std::printf("\n");
-  }
-  if (result.rows.size() > limit) {
-    std::printf("... (%zu rows total)\n", result.rows.size());
-  }
-}
 
 void PrintHelp() {
   std::printf(
@@ -56,6 +39,7 @@ void PrintHelp() {
       "  \\stats            manager / cache counters\n"
       "  \\save <path>      serialize C_aqp to a file\n"
       "  \\load <path>      load C_aqp from a file\n"
+      "  \\json             toggle erq.response.v1 JSON output\n"
       "  \\tables           list tables\n"
       "  \\help             this text\n"
       "  \\quit             exit\n");
@@ -85,6 +69,7 @@ int main() {
   PrintHelp();
 
   PhysOpPtr last_plan;
+  bool json_output = false;
   std::string buffer;
   std::string line;
   std::printf("erq> ");
@@ -152,6 +137,10 @@ int main() {
         std::printf("saved %zu part(s) to %s (%zu opaque skipped)\n",
                     manager.detector().cache().size() - skipped, arg.c_str(),
                     skipped);
+      } else if (cmd == "\\json") {
+        json_output = !json_output;
+        std::printf("output: %s\n", json_output ? "erq.response.v1 JSON"
+                                                : "text");
       } else if (cmd == "\\load") {
         std::ifstream in(arg);
         std::stringstream contents;
@@ -178,25 +167,17 @@ int main() {
     std::string sql = buffer;
     buffer.clear();
 
-    auto outcome = manager.Query(sql);
-    if (!outcome.ok()) {
-      std::printf("error: %s\n", outcome.status().ToString().c_str());
-    } else if (outcome->detected_empty) {
-      std::printf("(empty result — detected from C_aqp in %.1f us, "
-                  "execution skipped)\n",
-                  outcome->timings.check_seconds * 1e6);
-    } else {
-      if (outcome->result_empty) {
-        std::printf("(empty result, executed in %.2f ms; %zu atomic "
-                    "part(s) harvested)\n",
-                    outcome->timings.execute_seconds * 1e3, outcome->aqps_recorded);
-      } else {
-        PrintRows(outcome->result);
-        std::printf("(%zu row(s) in %.2f ms)\n", outcome->result_rows,
-                    outcome->timings.execute_seconds * 1e3);
-      }
+    QueryRequest request = QueryRequest::Sql(sql);
+    request.row_limit = 20;
+    auto outcome = manager.Execute(request);
+    // One shared renderer for every front end (shell, server, examples):
+    // QueryResponse::ToText() / ToJson() — see core/query_api.h.
+    const QueryResponse response = QueryResponse::FromResult(outcome, request);
+    std::printf("%s\n", (json_output ? response.ToJson()
+                                     : response.ToText()).c_str());
+    if (outcome.ok()) {
       // QueryOutcome carries the executed plan with actual= annotations;
-      // keep it for \plan and \why (no re-prepare/re-execute needed).
+      // keep it for \plan and \explain (no re-prepare/re-execute needed).
       last_plan = outcome->plan;
     }
     std::printf("erq> ");

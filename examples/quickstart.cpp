@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/manager.h"
+#include "core/query_api.h"
 
 using namespace erq;  // examples favor brevity
 
@@ -42,10 +43,12 @@ int main() {
   EmptyResultManager manager(&catalog, &stats, config);
 
   auto run = [&](const char* sql) {
-    auto outcome = manager.Query(sql);
+    // The value-type request API; Query(sql) remains as a shorthand.
+    auto outcome = manager.Execute(QueryRequest::Sql(sql));
     if (!outcome.ok()) {
-      std::fprintf(stderr, "query failed: %s\n",
-                   outcome.status().ToString().c_str());
+      std::fprintf(stderr, "%s\n",
+                   QueryResponse::FromStatus(outcome.status())
+                       .ToText().c_str());
       return;
     }
     std::printf("%-70s -> %s, %zu row(s)%s\n", sql,

@@ -21,6 +21,12 @@
 /// the same order at runtime on every acquisition.
 ///
 /// The order encodes the system's real layering:
+///   Server (4)        connection registry of the network front end;
+///                     held only around connection admit/retire
+///   TenantRegistry (6) tenant map of the network front end; held while
+///                     lazily constructing a tenant's manager, which
+///                     registers instruments (Metrics) — hence below
+///                     every engine lock
 ///   Manager (10)      pipeline counters; never held across module calls
 ///   CaqpCache (20)    C_aqp maintenance gate; shard mutators hold the
 ///                     shared side, Clear/SetChangeListener the exclusive
@@ -47,6 +53,12 @@
 namespace erq {
 namespace lock_order {
 
+/// ErqServer::mu_ — live-connection registry of the network front end.
+inline constexpr LockRank kServer{4, "Server"};
+/// TenantRegistry::mu_ — the tenant-name → manager map; held across lazy
+/// manager construction (which reaches Metrics), so it sits below every
+/// engine lock.
+inline constexpr LockRank kTenantRegistry{6, "TenantRegistry"};
 /// EmptyResultManager::mu_ — aggregate counters + adaptive cost gate.
 inline constexpr LockRank kManager{10, "Manager"};
 /// CaqpCache::maint_mu_ — the cache-wide maintenance gate (shard

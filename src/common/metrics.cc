@@ -4,54 +4,18 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace erq {
 
 namespace {
 
 constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
 
-/// Shortest round-trippable representation of a double for JSON.
-std::string JsonNumber(double v) {
-  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
-      std::abs(v) < 1e15) {
-    return std::to_string(static_cast<int64_t>(v));
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-/// Metric names follow `erq.<module>.<name>` (no quotes/backslashes), but
-/// escape defensively so ToJson() is valid JSON for any registered name.
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// Metric names follow `erq.<module>.<name>` (no quotes/backslashes), but
+// the shared JsonQuote escapes defensively so ToJson() is valid JSON for
+// any registered name.
+std::string JsonString(const std::string& s) { return JsonQuote(s); }
 
 }  // namespace
 

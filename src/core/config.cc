@@ -52,4 +52,43 @@ Status EmptyResultConfig::Validate() const {
   return Status::OK();
 }
 
+Status ServerOptions::Validate() const {
+  if (host.empty()) {
+    return Status::InvalidArgument(
+        "ServerOptions.host must be a bindable address (use 127.0.0.1 for "
+        "loopback)");
+  }
+  if (max_connections == 0) {
+    return Status::InvalidArgument(
+        "ServerOptions.max_connections must be positive: a server that "
+        "admits no connections cannot serve");
+  }
+  if (max_tenants == 0) {
+    return Status::InvalidArgument(
+        "ServerOptions.max_tenants must be positive: every request needs "
+        "a tenant namespace (the default tenant counts)");
+  }
+  if (global_n_max < max_tenants) {
+    return Status::InvalidArgument(
+        "ServerOptions.global_n_max must give every tenant at least one "
+        "C_aqp entry (global_n_max >= max_tenants)");
+  }
+  if (max_request_bytes == 0) {
+    return Status::InvalidArgument(
+        "ServerOptions.max_request_bytes must be positive: no request "
+        "would ever parse");
+  }
+  if (tenant_config.persist.enabled()) {
+    return Status::InvalidArgument(
+        "ServerOptions.tenant_config.persist must stay disabled: tenants "
+        "share a process but not a journal directory");
+  }
+  // Validate the template with the smallest quota any tenant can get, so
+  // a config that validates here cannot fail at lazy tenant creation.
+  EmptyResultConfig probe = tenant_config;
+  probe.n_max = global_n_max / max_tenants;
+  ERQ_RETURN_IF_ERROR(probe.Validate());
+  return Status::OK();
+}
+
 }  // namespace erq

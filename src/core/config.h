@@ -1,9 +1,13 @@
 #pragma once
 
 /// \file
-/// EmptyResultConfig and the enums behind its tuning knobs.
+/// EmptyResultConfig and the enums behind its tuning knobs, plus
+/// ServerOptions — the validated configuration of the erq_server
+/// network front end.
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "expr/dnf.h"
@@ -83,6 +87,52 @@ struct EmptyResultConfig {
   /// outside their range). EmptyResultManager calls this in its ctor and
   /// surfaces the Status from every entry point, so a mis-configured
   /// manager fails loudly instead of silently misbehaving.
+  ERQ_NODISCARD Status Validate() const;
+};
+
+/// Configuration of the erq_server network front end (src/server/). One
+/// server hosts up to `max_tenants` isolated tenants; every tenant owns a
+/// private EmptyResultManager built from `tenant_config`, with its C_aqp
+/// capacity replaced by an equal share of `global_n_max` (see
+/// TenantRegistry). Validated by ErqServer::Start, so a mis-configured
+/// server refuses to listen instead of silently misbehaving.
+struct ServerOptions {
+  /// Address the listener binds to. The default stays loopback-only; a
+  /// deployment must opt in to external exposure explicitly.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 asks the kernel for an ephemeral port (the bound port is
+  /// reported by ErqServer::port() and printed by tools/erq_server).
+  uint16_t port = 0;
+
+  /// Maximum simultaneously served connections. Accepts beyond the limit
+  /// are answered with 503 and closed rather than queued.
+  size_t max_connections = 128;
+
+  /// Maximum distinct tenant namespaces. Tenants are created lazily on
+  /// first use and never expire; requests naming a tenant past the limit
+  /// are rejected with ResourceExhausted (429 on the wire).
+  size_t max_tenants = 16;
+
+  /// Global C_aqp memory budget, in atomic query parts, shared by every
+  /// tenant. Each tenant's manager gets an equal static split
+  /// (global_n_max / max_tenants) as its EmptyResultConfig::n_max.
+  size_t global_n_max = 100000;
+
+  /// Upper bound on an accepted HTTP request (start line + headers +
+  /// body). Oversized requests are answered with 400 and the connection
+  /// is closed.
+  size_t max_request_bytes = 1 << 20;
+
+  /// Template configuration for each tenant's EmptyResultManager. The
+  /// n_max field is ignored (replaced by the per-tenant quota); persist
+  /// must stay disabled — tenants share a process but not a journal.
+  EmptyResultConfig tenant_config;
+
+  /// Rejects configurations the server cannot run meaningfully (zero
+  /// connection/tenant limits, a global budget too small to give every
+  /// tenant at least one entry, per-tenant persistence, or an invalid
+  /// tenant_config template).
   ERQ_NODISCARD Status Validate() const;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/query_api.h"
+
 namespace erq {
 
 namespace {
@@ -27,41 +29,13 @@ std::string QueryOutcome::Timings::ToString() const {
 }
 
 std::string QueryOutcome::ToString() const {
-  char buf[160];
-  std::string out;
-  if (detected_empty) {
-    std::snprintf(buf, sizeof(buf),
-                  "detected empty via C_aqp (estimated cost %.1f, execution "
-                  "skipped)",
-                  estimated_cost);
-  } else if (executed) {
-    std::snprintf(buf, sizeof(buf),
-                  "executed: %zu row%s (estimated cost %.1f%s)", result_rows,
-                  result_rows == 1 ? "" : "s", estimated_cost,
-                  high_cost ? ", high-cost" : "");
-  } else {
-    std::snprintf(buf, sizeof(buf), "not executed (estimated cost %.1f)",
-                  estimated_cost);
-  }
-  out += buf;
-  if (branches_pruned > 0) {
-    std::snprintf(buf, sizeof(buf), "; %zu set-op branch(es) pruned",
-                  branches_pruned);
-    out += buf;
-  }
-  if (aqps_recorded > 0) {
-    std::snprintf(buf, sizeof(buf), "; %zu atomic query part(s) recorded",
-                  aqps_recorded);
-    out += buf;
-  }
-  out += "\ntimings: " + timings.ToString();
-  if (plan != nullptr) {
-    out += "\n" + plan->ToString();
-  }
-  if (explanation.has_value()) {
-    out += "\n" + explanation->ToString();
-  }
-  return out;
+  // One renderer for every surface: convert to the wire value type and
+  // use its text form (rows are omitted here — callers that used the old
+  // format never received rows through ToString()).
+  QueryRequest request;
+  request.row_limit = 0;
+  request.explain = ExplainVerbosity::kFull;
+  return QueryResponse::FromOutcome(*this, request).ToText();
 }
 
 EmptyResultManager::Instruments EmptyResultManager::ResolveInstruments() {
@@ -138,14 +112,42 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
 }
 
 StatusOr<QueryOutcome> EmptyResultManager::Query(const std::string& sql) {
+  return Execute(QueryRequest::Sql(sql));
+}
+
+StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
+    const Statement& stmt) {
+  return Execute(QueryRequest::Parsed(&stmt));
+}
+
+std::vector<StatusOr<QueryOutcome>> EmptyResultManager::QueryBatch(
+    const std::vector<std::string>& sqls) {
+  return ExecuteBatch(QueryRequest::Batch(sqls));
+}
+
+StatusOr<QueryOutcome> EmptyResultManager::Execute(
+    const QueryRequest& request) {
   ERQ_RETURN_IF_ERROR(init_status_);
+  if (!request.batch.empty()) {
+    return Status::InvalidArgument(
+        "QueryRequest with a batch must go through ExecuteBatch");
+  }
+  if (request.statement != nullptr && !request.sql.empty()) {
+    return Status::InvalidArgument(
+        "QueryRequest must set exactly one of sql / statement / batch");
+  }
+  if (request.statement != nullptr) {
+    return ExecuteStatement(*request.statement);
+  }
+  // The sql form; an empty string falls through to the parser so the
+  // caller sees the same ParseError the pre-request API produced.
   double parse_seconds = 0.0;
   std::unique_ptr<Statement> stmt;
   {
     ScopedSpan span(metrics_.stage_parse, &parse_seconds);
-    ERQ_ASSIGN_OR_RETURN(stmt, Parser::Parse(sql));
+    ERQ_ASSIGN_OR_RETURN(stmt, Parser::Parse(request.sql));
   }
-  ERQ_ASSIGN_OR_RETURN(QueryOutcome outcome, QueryStatement(*stmt));
+  ERQ_ASSIGN_OR_RETURN(QueryOutcome outcome, ExecuteStatement(*stmt));
   outcome.timings.parse_seconds = parse_seconds;
   outcome.timings.total_seconds += parse_seconds;
   return outcome;
@@ -188,7 +190,7 @@ Status EmptyResultManager::PrepareInto(const Statement& stmt,
   return Status::OK();
 }
 
-StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
+StatusOr<QueryOutcome> EmptyResultManager::ExecuteStatement(
     const Statement& stmt) {
   ERQ_RETURN_IF_ERROR(init_status_);
   PreparedStatement prep;
@@ -209,10 +211,16 @@ StatusOr<QueryOutcome> EmptyResultManager::QueryStatement(
   return FinishChecked(std::move(prep), std::move(check));
 }
 
-std::vector<StatusOr<QueryOutcome>> EmptyResultManager::QueryBatch(
-    const std::vector<std::string>& sqls) {
+std::vector<StatusOr<QueryOutcome>> EmptyResultManager::ExecuteBatch(
+    const QueryRequest& request) {
+  const std::vector<std::string>& sqls = request.batch;
   std::vector<StatusOr<QueryOutcome>> out;
   out.reserve(sqls.size());
+  if (request.statement != nullptr || !request.sql.empty()) {
+    out.emplace_back(Status::InvalidArgument(
+        "ExecuteBatch takes a batch request; use Execute for sql/statement"));
+    return out;
+  }
   if (!init_status_.ok()) {
     for (size_t i = 0; i < sqls.size(); ++i) out.emplace_back(init_status_);
     return out;
@@ -266,11 +274,20 @@ std::vector<StatusOr<QueryOutcome>> EmptyResultManager::QueryBatch(
       ScopedSpan span(metrics_.stage_check, &batch_check_seconds);
       batch = detector_.CheckEmptyBatch(roots);
     }
-    // The probe ran once for everyone: attribute an even share of its
-    // cost to each checked query's check_seconds.
-    const double share = batch_check_seconds / static_cast<double>(
-                                                   checked.size());
+    // The probe ran once for everyone: attribute its cost in proportion
+    // to the atomic parts each query contributed (parts_checked), since
+    // probe work scales with parts examined, not with query count. A
+    // zero-part batch (every query settled before any part was probed)
+    // falls back to an even split.
+    size_t total_parts = 0;
+    for (const CheckResult& r : batch) total_parts += r.parts_checked;
     for (size_t j = 0; j < checked.size(); ++j) {
+      const double share =
+          total_parts > 0
+              ? batch_check_seconds *
+                    (static_cast<double>(batch[j].parts_checked) /
+                     static_cast<double>(total_parts))
+              : batch_check_seconds / static_cast<double>(checked.size());
       verdicts[checked[j]] = batch[j];
       pending[checked[j]].prep.outcome.timings.check_seconds = share;
     }

@@ -43,7 +43,14 @@ struct QueryOutcome {
     double optimize_seconds = 0.0;  ///< logical -> physical (incl. re-opt
                                     ///< after §2.5 pruning)
     double gate_seconds = 0.0;      ///< C_cost threshold evaluation
-    double check_seconds = 0.0;     ///< decompose + C_aqp search + pruning
+    /// Decompose + C_aqp search + pruning. In a batched submission the
+    /// probe runs once for the whole batch, so per-query attribution is
+    /// an estimate: each checked query receives a share of the batch
+    /// check time proportional to its parts_checked (probe work is
+    /// linear in the number of decomposed parts — the combination
+    /// factor F). Only when no query in the batch decomposed any parts
+    /// is the time split evenly.
+    double check_seconds = 0.0;
     double execute_seconds = 0.0;   ///< plan execution
     double record_seconds = 0.0;    ///< Operation O2 harvest + store
     double total_seconds = 0.0;     ///< whole call, wall clock
@@ -85,9 +92,15 @@ struct QueryOutcome {
   std::optional<EmptyResultExplanation> explanation;
 
   /// Backward-compatible text rendering (status line, timings, plan,
-  /// explanation) — the replacement for ad-hoc printing of `plan_text`.
+  /// explanation). Delegates to the one shared renderer,
+  /// QueryResponse::ToText() (core/query_api.h), so there is a single
+  /// text format across the shell, the examples, and the server.
   std::string ToString() const;
 };
+
+/// Forward declaration — the value-type request consumed by
+/// Execute()/ExecuteBatch(); defined in core/query_api.h.
+struct QueryRequest;
 
 /// Aggregate counters across a query stream.
 struct ManagerStats {
@@ -140,20 +153,36 @@ class EmptyResultManager {
   /// non-OK status every entry point returns this error.
   const Status& init_status() const { return init_status_; }
 
-  /// Full workflow for a SQL string.
+  /// Primary entry point: full workflow for one single-statement
+  /// QueryRequest (`sql` or `statement` form; batch requests belong to
+  /// ExecuteBatch). The request's wire-presentation fields (row_limit,
+  /// explain, tenant) do not affect the engine — they are consumed when
+  /// the outcome is turned into a QueryResponse.
+  ERQ_NODISCARD StatusOr<QueryOutcome> Execute(const QueryRequest& request);
+
+  /// Primary entry point for a batch request, returned in input order
+  /// (one StatusOr per query: a parse/plan error in one statement does
+  /// not fail the rest — every item carries the same structured Status
+  /// codes the single path produces). Each query is parsed and prepared
+  /// individually; then every high-cost candidate is checked against
+  /// C_aqp in a single batched lookup
+  /// (EmptyResultDetector::CheckEmptyBatch — one epoch critical section,
+  /// shard snapshots loaded once); then each query finishes exactly like
+  /// the single path. Per-query `check_seconds` attributes the batch
+  /// check time in proportion to each query's parts_checked (see
+  /// QueryOutcome::Timings). An empty `request.batch` yields an empty
+  /// vector.
+  std::vector<StatusOr<QueryOutcome>> ExecuteBatch(
+      const QueryRequest& request);
+
+  /// Full workflow for a SQL string. Thin wrapper over Execute().
   ERQ_NODISCARD StatusOr<QueryOutcome> Query(const std::string& sql);
 
-  /// Full workflow for a parsed statement.
+  /// Full workflow for a parsed statement. Thin wrapper over Execute().
   ERQ_NODISCARD StatusOr<QueryOutcome> QueryStatement(const Statement& stmt);
 
-  /// Full workflow for a batch of SQL strings, returned in input order
-  /// (one StatusOr per query: a parse/plan error in one statement does
-  /// not fail the rest). Each query is parsed and prepared individually;
-  /// then every high-cost candidate is checked against C_aqp in a single
-  /// batched lookup (EmptyResultDetector::CheckEmptyBatch — one epoch
-  /// critical section, shard snapshots loaded once); then each query
-  /// finishes exactly like QueryStatement. Per-query `check_seconds` is
-  /// the batch check time split evenly across the checked queries.
+  /// Full workflow for a batch of SQL strings. Thin wrapper over
+  /// ExecuteBatch().
   std::vector<StatusOr<QueryOutcome>> QueryBatch(
       const std::vector<std::string>& sqls);
 
@@ -226,8 +255,12 @@ class EmptyResultManager {
     Timer total_timer;
   };
 
+  /// Full workflow for one already-parsed statement (the single-query
+  /// pipeline behind Execute's sql and statement forms).
+  StatusOr<QueryOutcome> ExecuteStatement(const Statement& stmt);
+
   /// plan -> optimize -> cost gate (the pipeline prefix shared by
-  /// QueryStatement and QueryBatch). Counts the query and fills
+  /// ExecuteStatement and ExecuteBatch). Counts the query and fills
   /// `prep->outcome`'s cost/gate fields and stage timings.
   Status PrepareInto(const Statement& stmt, PreparedStatement* prep);
 

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file
+/// The service logic of erq_server, separated from the transport: a
+/// RequestHandler maps one parsed HttpRequest to one HttpResponse over a
+/// TenantRegistry. ErqServer owns the sockets and threads; the handler
+/// is stateless per request and directly unit-testable without a
+/// listening socket.
+///
+/// Routes:
+///   POST /v1/query                  run one query or one batch
+///   GET  /metrics                   erq.metrics.v1 registry snapshot
+///   GET  /v1/admin/cache            per-tenant C_aqp occupancy + stats
+///   POST /v1/admin/invalidate?table=T  drop detection state for a table
+
+#include <string>
+
+#include "common/metrics.h"
+#include "server/http.h"
+#include "server/tenant_registry.h"
+
+namespace erq {
+
+/// The static `erq.server.*` instruments (per-tenant instruments live in
+/// TenantRegistry::Tenant). Resolved once and shared; metrics_doc_test
+/// calls Resolve() so the documented and registered sets stay in sync.
+struct ServerInstruments {
+  Counter* requests;              ///< erq.server.requests
+  Counter* errors;                ///< erq.server.errors
+  Counter* queries;               ///< erq.server.queries
+  Counter* batch_queries;         ///< erq.server.batch_queries
+  Counter* invalidations;         ///< erq.server.invalidations
+  Counter* connections_total;     ///< erq.server.connections_total
+  Counter* connections_rejected;  ///< erq.server.connections_rejected
+  Gauge* connections;             ///< erq.server.connections
+  Gauge* tenants;                 ///< erq.server.tenants
+  Histogram* request_seconds;     ///< erq.server.request_seconds
+
+  /// Registers (first call) and resolves every static server instrument.
+  static ServerInstruments Resolve();
+};
+
+/// Maps requests to responses. Thread-safe: the handler itself holds no
+/// mutable state; all shared state lives behind the registry's and the
+/// managers' own locks.
+class RequestHandler {
+ public:
+  /// `tenants` is borrowed and must outlive the handler.
+  explicit RequestHandler(TenantRegistry* tenants)
+      : tenants_(tenants), metrics_(ServerInstruments::Resolve()) {}
+
+  /// Dispatches one request. Never throws; every failure path produces
+  /// a well-formed JSON error response with the HTTP status derived
+  /// from the underlying Status (HttpStatusFromStatus).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleAdminCache();
+  HttpResponse HandleInvalidate(const HttpRequest& request);
+
+  /// A JSON error response (`erq.response.v1` with only the status
+  /// object populated), HTTP status from the Status code.
+  static HttpResponse ErrorResponse(const Status& status);
+
+  TenantRegistry* tenants_;
+  const ServerInstruments metrics_;
+};
+
+}  // namespace erq

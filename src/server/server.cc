@@ -1,0 +1,169 @@
+#include "server/server.h"
+
+#include <chrono>
+
+#include "common/json.h"
+
+namespace erq {
+
+ErqServer::ErqServer(Catalog* catalog, StatsCatalog* stats,
+                     ServerOptions options)
+    : catalog_(catalog),
+      stats_(stats),
+      options_(std::move(options)),
+      tenants_(catalog_, stats_, options_),
+      handler_(&tenants_),
+      metrics_(ServerInstruments::Resolve()) {}
+
+ErqServer::~ErqServer() { Stop(); }
+
+Status ErqServer::Start() {
+  if (started_) {
+    return Status::InvalidArgument(
+        stopping_.load(std::memory_order_acquire)
+            ? "a stopped ErqServer cannot be restarted; build a new one"
+            : "ErqServer is already running");
+  }
+  ERQ_RETURN_IF_ERROR(options_.Validate());
+  ERQ_ASSIGN_OR_RETURN(
+      listener_,
+      Listener::Bind(options_.host, options_.port,
+                     static_cast<int>(options_.max_connections)));
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ErqServer::ReapFinished() {
+  std::vector<std::thread> reap;
+  {
+    MutexLock lock(&mu_);
+    for (auto it = threads_.begin(); it != threads_.end();) {
+      if (connections_.count(it->first) == 0) {
+        reap.push_back(std::move(it->second));
+        it = threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : reap) t.join();
+}
+
+void ErqServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    StatusOr<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // listener shut down (or fatal)
+    metrics_.connections_total->Increment();
+
+    // Opportunistically join threads whose connections already closed,
+    // so a long-running server does not accumulate joinable handles.
+    ReapFinished();
+
+    bool reject;
+    {
+      MutexLock lock(&mu_);
+      reject = connections_.size() >= options_.max_connections;
+    }
+    if (reject) {
+      // Past capacity: answer 503 inline and drop, rather than queueing
+      // work we cannot serve.
+      metrics_.connections_rejected->Increment();
+      HttpResponse busy;
+      busy.status_code = 503;
+      busy.close = true;
+      busy.body =
+          "{\"schema\":\"erq.response.v1\",\"status\":{\"code\":"
+          "\"ResourceExhausted\",\"message\":\"connection limit "
+          "reached\"}}";
+      (void)accepted->SendAll(busy.Serialize());
+      continue;
+    }
+
+    uint64_t id;
+    Connection* raw;
+    {
+      MutexLock lock(&mu_);
+      id = next_connection_id_++;
+      auto conn = std::make_unique<Connection>(std::move(*accepted),
+                                               options_.max_request_bytes);
+      raw = conn.get();
+      connections_[id] = std::move(conn);
+      metrics_.connections->Set(static_cast<int64_t>(connections_.size()));
+    }
+    // The thread is created outside the lock (its body reacquires mu_ to
+    // retire itself) and its handle registered after — only this thread
+    // and Stop() ever touch threads_, and Stop() joins the accept thread
+    // before draining, so the handle is always fully registered first.
+    std::thread serving([this, id, raw] { ServeConnection(id, raw); });
+    {
+      MutexLock lock(&mu_);
+      threads_[id] = std::move(serving);
+    }
+  }
+}
+
+void ErqServer::ServeConnection(uint64_t id, Connection* conn) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    StatusOr<HttpRequest> request = conn->http.ReadRequest();
+    if (!request.ok()) {
+      // Malformed input earns a 400; a plain disconnect just ends the
+      // loop. Either way the connection is done.
+      if (request.status().code() != StatusCode::kIoError) {
+        HttpResponse bad;
+        bad.status_code = HttpStatusFromStatus(request.status());
+        bad.close = true;
+        bad.body = "{\"schema\":\"erq.response.v1\",\"status\":{\"code\":" +
+                   JsonQuote(StatusCodeToString(request.status().code())) +
+                   ",\"message\":" + JsonQuote(request.status().message()) +
+                   "}}";
+        (void)conn->http.WriteResponse(bad);
+        metrics_.errors->Increment();
+      }
+      break;
+    }
+    HttpResponse response = handler_.Handle(*request);
+    if (!request->keep_alive) response.close = true;
+    if (!conn->http.WriteResponse(response).ok()) break;
+    if (response.close) break;
+  }
+
+  // Retire: erasing the map entry releases the socket and signals the
+  // reapers that this thread's handle may be joined.
+  MutexLock lock(&mu_);
+  connections_.erase(id);
+  metrics_.connections->Set(static_cast<int64_t>(connections_.size()));
+}
+
+void ErqServer::Stop() {
+  if (!started_) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+
+  // 1. No new connections: wake the accept thread and join it.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain: wake every serving thread blocked in recv(2); each exits
+  //    its loop and retires its connection entry, after which its thread
+  //    handle is joinable. The brief sleep stands in for a condition
+  //    variable (banned by the lock discipline) — Stop is a cold path.
+  while (true) {
+    bool live;
+    {
+      MutexLock lock(&mu_);
+      for (const auto& [id, conn] : connections_) {
+        conn->http.socket().Shutdown();
+      }
+      live = !connections_.empty();
+    }
+    ReapFinished();
+    {
+      MutexLock lock(&mu_);
+      if (connections_.empty() && threads_.empty()) break;
+    }
+    if (live) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace erq

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file
+/// ErqServer — the multi-tenant network front end. One accept thread
+/// plus one thread per connection (keep-alive HTTP/1.1), bounded by
+/// ServerOptions::max_connections; every request runs through a
+/// RequestHandler over the server's TenantRegistry.
+///
+/// Concurrency model (no condition variables, per the lock-annotation
+/// rules): threads block in `accept(2)`/`recv(2)` and Stop() wakes them
+/// with `shutdown(2)` on the fds — the listener first (stops new
+/// connections), then every live connection (drains serving threads),
+/// then joins. The server mutex (lock_order::kServer, the lowest rank)
+/// guards only the connection registry and is never held across a
+/// blocking call.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "server/http.h"
+#include "server/request_handler.h"
+#include "server/socket.h"
+#include "server/tenant_registry.h"
+
+namespace erq {
+
+/// The HTTP front end over one shared Catalog/StatsCatalog pair.
+/// Start() binds and serves; Stop() (or destruction) shuts down
+/// gracefully. A stopped server cannot be restarted — build a new one.
+class ErqServer {
+ public:
+  /// Borrows `catalog` and `stats` (must outlive the server; shared by
+  /// every tenant).
+  ErqServer(Catalog* catalog, StatsCatalog* stats, ServerOptions options);
+  ~ErqServer();
+  ErqServer(const ErqServer&) = delete;
+  ErqServer& operator=(const ErqServer&) = delete;
+
+  /// Validates the options, binds the listener, and starts the accept
+  /// thread. On error nothing is left running.
+  ERQ_NODISCARD Status Start();
+
+  /// The bound port (valid after Start(); resolves port 0 requests).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Graceful shutdown: stop accepting, wake and join every connection
+  /// thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The tenant pool (exposed for tests and tools).
+  TenantRegistry& tenants() { return tenants_; }
+
+ private:
+  struct Connection;
+
+  /// Body of the accept thread.
+  void AcceptLoop();
+  /// Body of one connection thread: serve keep-alive requests until the
+  /// peer closes, an error occurs, or Stop() shuts the socket down.
+  /// Erases `id` from `connections_` on exit (the done signal the
+  /// reapers look for); never touches `threads_`.
+  void ServeConnection(uint64_t id, Connection* conn);
+
+  /// Joins every thread whose connection has finished (its id left
+  /// `connections_` but remains in `threads_`). Called opportunistically
+  /// by the accept loop and in the Stop() drain.
+  void ReapFinished();
+
+  Catalog* catalog_;
+  StatsCatalog* stats_;
+  const ServerOptions options_;
+  TenantRegistry tenants_;
+  RequestHandler handler_;
+  const ServerInstruments metrics_;
+
+  Listener listener_;
+  std::thread accept_thread_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  /// One live connection. The serving thread's handle is NOT here — it
+  /// lives in `threads_`, touched only by the accept thread and Stop(),
+  /// so a fast-exiting connection cannot race its own thread handle.
+  struct Connection {
+    HttpConnection http;
+    explicit Connection(Socket socket, size_t max_request_bytes)
+        : http(std::move(socket), max_request_bytes) {}
+  };
+
+  /// The bottom of the lock hierarchy; held only to admit/look up/
+  /// retire connections, never across recv/send or engine calls.
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kServer){
+      lock_order::kServer};
+  /// Live connections; an entry disappearing is the "thread finishing"
+  /// signal its `threads_` twin is reaped by.
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      ERQ_GUARDED_BY(mu_);
+  /// Serving-thread handles, keyed like `connections_`. Owned by the
+  /// accept thread + Stop() exclusively (serving threads never touch
+  /// their own handle).
+  std::map<uint64_t, std::thread> threads_ ERQ_GUARDED_BY(mu_);
+  uint64_t next_connection_id_ ERQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace erq

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file
+/// Thin RAII layer over POSIX TCP sockets — everything erq_server needs
+/// and nothing more: a move-only connected socket (Socket) and a bound
+/// listener (Listener). No external networking dependency; plain
+/// `socket(2)`/`bind(2)`/`accept(2)`.
+///
+/// Shutdown discipline: both classes separate *waking a blocked peer
+/// thread* (Shutdown — `shutdown(2)`, fd stays open so no descriptor can
+/// be reused underneath a racing reader) from *releasing the descriptor*
+/// (Close / destructor). ErqServer::Stop relies on this: it shuts every
+/// live fd down first and only the owning thread closes it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace erq {
+
+/// A connected TCP stream, move-only owner of one file descriptor.
+class Socket {
+ public:
+  /// An invalid (empty) socket.
+  Socket() = default;
+  /// Adopts `fd` (-1 for invalid).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// The raw descriptor (-1 when invalid).
+  int fd() const { return fd_; }
+  /// True when the socket owns a live descriptor.
+  bool valid() const { return fd_ >= 0; }
+
+  /// Half-close both directions, waking any thread blocked in Recv/Send
+  /// on this socket. The fd stays open until Close()/destruction.
+  void Shutdown();
+  /// Releases the descriptor (idempotent).
+  void Close();
+
+  /// Writes all of `data`, looping over partial sends. SIGPIPE is
+  /// suppressed; a broken peer yields an IoError.
+  ERQ_NODISCARD Status SendAll(const char* data, size_t len);
+  /// Convenience overload.
+  ERQ_NODISCARD Status SendAll(const std::string& data) {
+    return SendAll(data.data(), data.size());
+  }
+
+  /// Reads up to `len` bytes; 0 means orderly EOF. Interrupted reads
+  /// (EINTR) are retried internally.
+  ERQ_NODISCARD StatusOr<size_t> RecvSome(char* buf, size_t len);
+
+  /// Client side: open a TCP connection to `host:port` (tests, bench,
+  /// and any in-process client of erq_server).
+  static StatusOr<Socket> Connect(const std::string& host, uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to host:port.
+class Listener {
+ public:
+  /// An invalid (unbound) listener.
+  Listener() = default;
+  ~Listener() = default;
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  /// Binds and listens on `host:port` (port 0 = kernel-chosen). The
+  /// socket is opened with SO_REUSEADDR so restarts do not wait out
+  /// TIME_WAIT.
+  static StatusOr<Listener> Bind(const std::string& host, uint16_t port,
+                                 int backlog = 64);
+
+  /// The actually-bound port (resolves port 0 requests).
+  uint16_t port() const { return port_; }
+  /// True when the listener owns a live descriptor.
+  bool valid() const { return socket_.valid(); }
+
+  /// Blocks for the next connection. After Shutdown() returns an
+  /// IoError ("listener shut down") instead of a socket.
+  ERQ_NODISCARD StatusOr<Socket> Accept();
+
+  /// Wakes a thread blocked in Accept() (shutdown(2) on the listening
+  /// fd); the fd itself stays owned until destruction.
+  void Shutdown() { socket_.Shutdown(); }
+
+ private:
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace erq

@@ -1,0 +1,79 @@
+#include "server/tenant_registry.h"
+
+namespace erq {
+
+bool TenantRegistry::IsValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > 32) return false;
+  for (char c : name) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+StatusOr<TenantRegistry::Tenant*> TenantRegistry::GetOrCreate(
+    const std::string& name) {
+  const std::string& resolved = name.empty() ? kDefaultTenant : name;
+  if (!IsValidTenantName(resolved)) {
+    return Status::InvalidArgument(
+        "tenant name must be 1-32 chars of [a-z0-9_]: \"" + resolved + "\"");
+  }
+
+  MutexLock lock(&mu_);
+  if (auto it = tenants_.find(resolved); it != tenants_.end()) {
+    return it->second.get();
+  }
+  if (tenants_.size() >= options_.max_tenants) {
+    return Status::ResourceExhausted(
+        "tenant limit reached (" + std::to_string(options_.max_tenants) +
+        "); cannot create tenant \"" + resolved + "\"");
+  }
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = resolved;
+  EmptyResultConfig config = options_.tenant_config;
+  config.n_max = quota_;
+  tenant->manager =
+      std::make_unique<EmptyResultManager>(catalog_, stats_, config);
+  ERQ_RETURN_IF_ERROR(tenant->manager->init_status());
+  const std::string prefix = "erq.server.tenant." + resolved;
+  tenant->requests =
+      MetricsRegistry::Global().GetCounter(prefix + ".requests");
+  tenant->errors = MetricsRegistry::Global().GetCounter(prefix + ".errors");
+
+  Tenant* out = tenant.get();
+  tenants_[resolved] = std::move(tenant);
+  return out;
+}
+
+std::vector<std::string> TenantRegistry::TenantNames() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) out.push_back(name);
+  return out;
+}
+
+std::vector<TenantRegistry::Tenant*> TenantRegistry::Tenants() const {
+  MutexLock lock(&mu_);
+  std::vector<Tenant*> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) out.push_back(tenant.get());
+  return out;
+}
+
+size_t TenantRegistry::tenant_count() const {
+  MutexLock lock(&mu_);
+  return tenants_.size();
+}
+
+size_t TenantRegistry::InvalidateTable(const std::string& table) {
+  MutexLock lock(&mu_);
+  for (const auto& [name, tenant] : tenants_) {
+    tenant->manager->OnTableUpdated(table);
+  }
+  return tenants_.size();
+}
+
+}  // namespace erq

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file
+/// Multi-tenant manager pool behind erq_server. Each tenant namespace
+/// owns a private EmptyResultManager — its own C_aqp, cost-gate state,
+/// and counters — so one tenant's harvested empties can never answer
+/// (or evict) another tenant's queries. Tenants are created lazily on
+/// first use; the server's global C_aqp memory budget
+/// (ServerOptions::global_n_max) is split into equal static per-tenant
+/// quotas so a noisy tenant cannot starve the rest.
+///
+/// All tenants share the server's one Catalog + StatsCatalog (the data
+/// is common; only detection state is isolated).
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/manager.h"
+
+namespace erq {
+
+/// Name → EmptyResultManager map with lazy creation, per-tenant quota
+/// enforcement, and per-tenant instruments. Thread-safe; the registry
+/// mutex ranks below every engine lock (lock_order::kTenantRegistry) so
+/// it may be held across manager construction.
+class TenantRegistry {
+ public:
+  /// The namespace requests without an explicit tenant land in.
+  static constexpr const char* kDefaultTenant = "default";
+
+  /// One live tenant: the isolated manager plus its resolved
+  /// instruments (`erq.server.tenant.<name>.*` — registered when the
+  /// tenant is created, stable for the process lifetime).
+  struct Tenant {
+    std::string name;  ///< the namespace this tenant serves
+    /// The isolated detection pipeline (own C_aqp + cost-gate state).
+    std::unique_ptr<EmptyResultManager> manager;
+    Counter* requests = nullptr;  ///< erq.server.tenant.<name>.requests
+    Counter* errors = nullptr;    ///< erq.server.tenant.<name>.errors
+  };
+
+  /// Builds the registry over shared catalogs (borrowed; must outlive
+  /// the registry). `options` supplies the tenant template config, the
+  /// tenant cap, and the global budget. Call after
+  /// ServerOptions::Validate() — the registry assumes a valid config.
+  TenantRegistry(Catalog* catalog, StatsCatalog* stats,
+                 const ServerOptions& options)
+      : catalog_(catalog),
+        stats_(stats),
+        options_(options),
+        quota_(options.global_n_max / options.max_tenants) {}
+
+  /// Resolves `name` ("" = kDefaultTenant), creating the tenant on
+  /// first use. Errors: InvalidArgument for names outside
+  /// `[a-z0-9_]{1,32}`, ResourceExhausted once max_tenants namespaces
+  /// exist, or the new manager's init_status. The returned pointer is
+  /// stable for the registry's lifetime.
+  ERQ_NODISCARD StatusOr<Tenant*> GetOrCreate(const std::string& name)
+      ERQ_EXCLUDES(mu_);
+
+  /// Sorted names of every live tenant.
+  std::vector<std::string> TenantNames() const ERQ_EXCLUDES(mu_);
+
+  /// Stable pointers to every live tenant (sorted by name). Tenants are
+  /// never destroyed while the registry lives, so the pointers may be
+  /// used after the internal lock is released.
+  std::vector<Tenant*> Tenants() const ERQ_EXCLUDES(mu_);
+
+  /// Number of live tenants.
+  size_t tenant_count() const ERQ_EXCLUDES(mu_);
+
+  /// Per-tenant C_aqp quota (global_n_max / max_tenants).
+  size_t quota() const { return quota_; }
+
+  /// Propagates a table update to every tenant's manager (the admin
+  /// invalidation endpoint). Returns the number of tenants notified.
+  size_t InvalidateTable(const std::string& table) ERQ_EXCLUDES(mu_);
+
+  /// True iff `name` is a valid tenant namespace: 1–32 chars of
+  /// [a-z0-9_] (the charset instrument names allow, since the name is
+  /// embedded in `erq.server.tenant.<name>.*`).
+  static bool IsValidTenantName(const std::string& name);
+
+ private:
+  Catalog* catalog_;
+  StatsCatalog* stats_;
+  const ServerOptions options_;
+  const size_t quota_;
+
+  /// Held across lazy manager construction; every engine lock ranks
+  /// above it (see lock_order.h).
+  mutable Mutex mu_ ERQ_ACQUIRED_AFTER(lock_order::kTenantRegistry){
+      lock_order::kTenantRegistry};
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_
+      ERQ_GUARDED_BY(mu_);
+};
+
+}  // namespace erq

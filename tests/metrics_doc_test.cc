@@ -21,6 +21,7 @@
 #include "persist/journal.h"
 #include "persist/persistence.h"
 #include "persist/snapshot.h"
+#include "server/request_handler.h"
 #include "test_util.h"
 
 #ifndef ERQ_SOURCE_DIR
@@ -99,6 +100,12 @@ void ExerciseAllModules() {
   // Serialization counter group.
   size_t skipped = 0;
   SerializeCache(manager.detector().cache(), &skipped);
+
+  // The static erq.server.* instruments (registered on first resolve).
+  // Per-tenant erq.server.tenant.<name>.* instruments are deliberately
+  // NOT registered here: METRICS.md documents them as a prose pattern
+  // (the <name> placeholder is not a valid instrument name).
+  (void)ServerInstruments::Resolve();
 
   // MV baseline.
   MvEmptyCache mv(8);

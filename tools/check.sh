@@ -5,13 +5,16 @@
 #   tools/check.sh plain      # -Wall -Wextra -Werror build + full ctest
 #   tools/check.sh asan       # ASan+UBSan build + full ctest
 #   tools/check.sh tsan       # TSan + ERQ_DEBUG_LOCK_ORDER build +
-#                             # `ctest -L 'concurrency|persist'`
+#                             # `ctest -L 'concurrency|persist|server'`
 #   tools/check.sh analyze    # static analysis: lock_lint (+ its own
 #                             # test suite) over compile_commands.json,
 #                             # plus run-clang-tidy where installed
 #   tools/check.sh tidy       # run-clang-tidy over compile_commands.json
 #   tools/check.sh clang      # clang build with -Werror=thread-safety
 #   tools/check.sh docs       # doc_lint + link check + Doxygen (if present)
+#   tools/check.sh server     # erq_server end-to-end smoke: start the
+#                             # binary, query/metrics/invalidate over
+#                             # HTTP, verify responses, clean shutdown
 #   tools/check.sh bench      # opt-in: build benches + regenerate
 #                             # BENCH_caqp.json via tools/bench_json.sh
 #                             # (not part of the default job set)
@@ -103,7 +106,7 @@ run_tsan() {
   # rides along: TSan finds orders that DID invert in this run, the
   # validator aborts on any acquisition that CONTRADICTS the declared
   # hierarchy (DESIGN.md §8) even if no other thread was mid-deadlock.
-  local ctest_args=(-L 'concurrency|persist')
+  local ctest_args=(-L 'concurrency|persist|server')
   [[ "${CHECK_TSAN_FULL:-0}" == "1" ]] && ctest_args=()
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
   configure_build_test tsan "${ctest_args[@]}" \
@@ -185,6 +188,114 @@ run_docs() {
   ok "docs"
 }
 
+run_server() {
+  # End-to-end wire smoke: boots tools/erq_server on an ephemeral port,
+  # drives every endpoint over real HTTP from python3's urllib (no curl
+  # dependency), and verifies both payloads and the detection behavior
+  # (second identical empty query must be answered from C_aqp). Exits
+  # nonzero on any mismatch.
+  local dir="$ROOT/build-check-plain"
+  if [[ ! -x "$dir/tools/erq_server" ]]; then
+    log "server: building erq_server"
+    cmake -B "$dir" -S "$ROOT" || { bad "server (configure)"; return 1; }
+    cmake --build "$dir" -j "$JOBS" --target erq_server_tool \
+      || { bad "server (build)"; return 1; }
+  fi
+  log "server: end-to-end smoke"
+  local fifo out rc
+  out=$(mktemp) || { bad "server (mktemp)"; return 1; }
+  fifo=$(mktemp -u) || { bad "server (mktemp)"; return 1; }
+  mkfifo "$fifo" || { bad "server (mkfifo)"; return 1; }
+  # Keep the fifo writable so the server's stdin stays open until we say
+  # quit; port 0 lets the kernel pick, the server prints what it bound.
+  exec 9<>"$fifo"
+  "$dir/tools/erq_server" --port 0 --customers-per-unit 200 \
+      < "$fifo" > "$out" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$out")
+    [[ -n "$port" ]] && break
+    kill -0 "$pid" 2> /dev/null || break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    cat "$out"
+    bad "server (startup)"
+    exec 9>&-; rm -f "$fifo" "$out"
+    return 1
+  fi
+  ERQ_SERVER_PORT="$port" python3 - <<'PYEOF'
+import json, os, urllib.request, urllib.error
+
+base = "http://127.0.0.1:" + os.environ["ERQ_SERVER_PORT"]
+
+def call(path, body=None, method=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data,
+                                 method=method or ("POST" if data else "GET"))
+    try:
+        with urllib.request.urlopen(req, timeout=10) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read())
+
+empty_sql = "select * from orders where totalprice < 0"
+
+code, doc = call("/v1/query", {"sql": empty_sql, "tenant": "smoke_a"})
+assert code == 200 and doc["schema"] == "erq.response.v1", doc
+assert doc["outcome"]["executed"] and doc["outcome"]["result_empty"], doc
+
+code, doc = call("/v1/query", {"sql": empty_sql, "tenant": "smoke_a"})
+assert code == 200 and doc["outcome"]["detected_empty"], (
+    "repeat of an empty query must be answered from C_aqp: %r" % doc)
+
+# Tenant isolation: the same query under another tenant must execute.
+code, doc = call("/v1/query", {"sql": empty_sql, "tenant": "smoke_b"})
+assert code == 200 and not doc["outcome"]["detected_empty"], doc
+
+code, doc = call("/v1/query", {"batch": [empty_sql, "not sql"],
+                               "tenant": "smoke_a"})
+assert code == 200 and doc["schema"] == "erq.response.batch.v1", doc
+assert doc["items"][0]["http_status"] == 200, doc
+assert doc["items"][1]["http_status"] == 400, doc
+assert doc["items"][1]["response"]["status"]["code"] == "ParseError", doc
+
+code, doc = call("/v1/admin/cache")
+assert code == 200 and set(doc["tenants"]) >= {"smoke_a", "smoke_b"}, doc
+
+code, doc = call("/v1/admin/invalidate?table=orders", method="POST")
+assert code == 200 and doc["tenants_notified"] >= 2, doc
+
+# Invalidation dropped the proof: the query must execute again.
+code, doc = call("/v1/query", {"sql": empty_sql, "tenant": "smoke_a"})
+assert code == 200 and not doc["outcome"]["detected_empty"], doc
+
+code, doc = call("/metrics")
+assert code == 200 and doc["schema"] == "erq.metrics.v1", doc
+assert doc["counters"]["erq.server.requests"] >= 8, doc
+
+code, doc = call("/v1/query", {"sql": ""})
+assert code == 400, (code, doc)
+
+print("server smoke: OK")
+PYEOF
+  rc=$?
+  echo quit >&9
+  exec 9>&-
+  wait "$pid"
+  local server_rc=$?
+  rm -f "$fifo"
+  if [[ $rc -ne 0 || $server_rc -ne 0 ]]; then
+    cat "$out"
+    rm -f "$out"
+    bad "server"
+    return 1
+  fi
+  rm -f "$out"
+  ok "server"
+}
+
 run_bench() {
   # Opt-in perf snapshot: builds the bench targets and regenerates
   # BENCH_caqp.json. Honors BENCH_MIN_TIME (e.g. 0.01 for a smoke run).
@@ -223,7 +334,7 @@ main() {
   done
   # bench is opt-in (perf snapshot, not a correctness gate). analyze runs
   # after plain so the compile_commands.json it needs already exists.
-  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain analyze asan tsan clang docs)
+  [[ ${#jobs[@]} -eq 0 ]] && jobs=(plain analyze asan tsan clang docs server)
   for job in "${jobs[@]}"; do
     case "$job" in
       plain)   run_plain ;;
@@ -233,9 +344,10 @@ main() {
       clang)   run_clang ;;
       tidy)    run_tidy ;;
       docs)    run_docs ;;
+      server)  run_server ;;
       bench)   run_bench ;;
       *) echo "unknown job: $job" \
-            "(want plain|analyze|asan|tsan|clang|tidy|docs|bench;" \
+            "(want plain|analyze|asan|tsan|clang|tidy|docs|server|bench;" \
             "--help for details)" >&2
          exit 2 ;;
     esac

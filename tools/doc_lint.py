@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Documentation lint: public declarations need Doxygen comments.
 
-Scans the API headers of the paper-contribution layer (src/core/*.h) and
-the persistence layer (src/persist/*.h) and reports every public
+Scans the API headers of the paper-contribution layer (src/core/*.h),
+the persistence layer (src/persist/*.h), and the network front end
+(src/server/*.h), and reports every public
 declaration — namespace-scope class/struct/enum/function/constant, or
 public class member — that is not immediately preceded by a `///` (or
 `/** ... */`) documentation comment, and every header missing a
@@ -25,7 +26,8 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-TARGET_GLOBS = [("src/core", "*.h"), ("src/persist", "*.h")]
+TARGET_GLOBS = [("src/core", "*.h"), ("src/persist", "*.h"),
+                ("src/server", "*.h")]
 
 ACCESS_RE = re.compile(r"^(public|private|protected)\s*:")
 SCOPE_OPEN_RE = re.compile(

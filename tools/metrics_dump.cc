@@ -24,6 +24,7 @@
 
 #include "common/metrics.h"
 #include "core/manager.h"
+#include "core/query_api.h"
 #include "core/serialize.h"
 #include "workload/trace.h"
 
@@ -85,10 +86,13 @@ int RunTpcrTrace(size_t total_queries, bool json_only,
   MetricsRegistry::Global().Reset();
 
   for (const TraceQuery& q : trace) {
-    auto outcome = manager.Query(q.sql);
+    auto outcome = manager.Execute(QueryRequest::Sql(q.sql));
     if (!outcome.ok()) {
-      std::fprintf(stderr, "query failed: %s\n%s\n",
-                   outcome.status().ToString().c_str(), q.sql.c_str());
+      // The shared renderer ("error: <status>") used by every front end.
+      std::fprintf(stderr, "%s\n%s\n",
+                   QueryResponse::FromStatus(outcome.status())
+                       .ToText().c_str(),
+                   q.sql.c_str());
       return 1;
     }
     if (outcome->result_empty != q.expect_empty) {
