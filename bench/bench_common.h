@@ -19,23 +19,31 @@ struct Environment {
   std::unique_ptr<StatsCatalog> stats;
   TpcrInstance instance;
 
+  /// `build_indexes=false` leaves the instance index-free, so selection
+  /// predicates plan as table scans — the shape partition pruning
+  /// applies to (bench_partition measures scan skipping, which an index
+  /// scan on the same key would bypass entirely).
   static Environment Build(double scale, uint64_t seed = 42,
-                           size_t customers_per_unit = 1500) {
+                           size_t customers_per_unit = 1500,
+                           size_t partitions = 1, bool build_indexes = true) {
     Environment env;
     env.catalog = std::make_unique<Catalog>();
     TpcrConfig config;
     config.scale = scale;
     config.seed = seed;
     config.customers_per_unit = customers_per_unit;
+    config.partitions = partitions;
     auto inst = BuildTpcr(env.catalog.get(), config);
     if (!inst.ok()) {
       std::fprintf(stderr, "BuildTpcr: %s\n", inst.status().ToString().c_str());
       std::abort();
     }
     env.instance = *inst;
-    if (auto s = BuildTpcrIndexes(env.catalog.get()); !s.ok()) {
-      std::fprintf(stderr, "indexes: %s\n", s.ToString().c_str());
-      std::abort();
+    if (build_indexes) {
+      if (auto s = BuildTpcrIndexes(env.catalog.get()); !s.ok()) {
+        std::fprintf(stderr, "indexes: %s\n", s.ToString().c_str());
+        std::abort();
+      }
     }
     env.stats = std::make_unique<StatsCatalog>();
     if (auto s = env.stats->AnalyzeAll(*env.catalog); !s.ok()) {

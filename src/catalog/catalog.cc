@@ -121,6 +121,17 @@ StatusOr<size_t> Catalog::DeleteRows(const std::string& table_name,
   return removed;
 }
 
+Status Catalog::SetPartitioning(const std::string& table_name,
+                                PartitionScheme scheme) {
+  ERQ_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  ERQ_RETURN_IF_ERROR(table->SetPartitioning(std::move(scheme)));
+  TableUpdateEvent event;
+  event.kind = TableUpdateEvent::Kind::kGeneric;
+  event.table_name = table->name();
+  Fire(event);
+  return Status::OK();
+}
+
 void Catalog::NotifyUpdate(const std::string& table_name) {
   TableUpdateEvent event;
   event.kind = TableUpdateEvent::Kind::kGeneric;

@@ -1,3 +1,8 @@
+/// \file
+/// The database catalog: owns every table and secondary index, routes
+/// all mutations so registered listeners observe them (the invalidation
+/// hook C_aqp depends on), and declares table partitioning.
+
 #pragma once
 
 #include <functional>
@@ -15,9 +20,11 @@ namespace erq {
 /// A mutation observed on a table. `inserted_rows` is non-null only for
 /// kInsert events (valid for the duration of the callback).
 struct TableUpdateEvent {
+  /// What kind of mutation fired the event.
   enum class Kind { kInsert, kDelete, kDropTable, kGeneric };
-  Kind kind = Kind::kGeneric;
-  std::string table_name;
+  Kind kind = Kind::kGeneric;  ///< mutation kind, kGeneric when unknown
+  std::string table_name;      ///< the mutated table
+  /// The appended rows, kInsert only; valid for the callback's duration.
   const std::vector<Row>* inserted_rows = nullptr;
 };
 
@@ -40,9 +47,13 @@ class Catalog {
   /// Drops a table and all its indexes; notifies listeners.
   Status DropTable(const std::string& name);
 
+  /// The table named `name` (case-insensitive), NotFound otherwise.
   StatusOr<Table*> GetTable(const std::string& name);
+  /// Const overload of GetTable.
   StatusOr<const Table*> GetTable(const std::string& name) const;
+  /// True iff a table named `name` exists.
   bool HasTable(const std::string& name) const;
+  /// All table names, in their original (creation) spelling.
   std::vector<std::string> TableNames() const;
 
   /// Creates a sorted index on `table.column`. Idempotent per (table,col).
@@ -61,6 +72,12 @@ class Catalog {
   /// kDelete event. Returns the number of rows removed.
   StatusOr<size_t> DeleteRows(const std::string& table_name,
                               std::function<bool(const Row&)> pred);
+
+  /// Declares (or clears) horizontal partitioning on a table and fires a
+  /// kGeneric event: every previously recorded (relation, partition) fact
+  /// is stale once the partition mapping changes.
+  Status SetPartitioning(const std::string& table_name,
+                         PartitionScheme scheme);
 
   /// Registers a callback fired with the table name on any mutation.
   void AddUpdateListener(std::function<void(const std::string&)> listener) {

@@ -1,3 +1,7 @@
+/// \file
+/// Secondary sorted indexes: the standalone stand-in for the B-tree
+/// indexes the paper assumes on every selection and join attribute.
+
 #pragma once
 
 #include <cstdint>
@@ -12,11 +16,14 @@ namespace erq {
 
 /// One endpoint of a value interval. An absent value means ±infinity.
 struct Bound {
-  std::optional<Value> value;  // nullopt = unbounded
-  bool inclusive = true;
+  std::optional<Value> value;  ///< endpoint value; nullopt = unbounded
+  bool inclusive = true;       ///< whether the endpoint itself is included
 
+  /// The ±infinity endpoint.
   static Bound Unbounded() { return Bound{std::nullopt, true}; }
+  /// A closed endpoint at `v`.
   static Bound Inclusive(Value v) { return Bound{std::move(v), true}; }
+  /// An open endpoint at `v`.
   static Bound Exclusive(Value v) { return Bound{std::move(v), false}; }
 };
 
@@ -27,8 +34,11 @@ class SortedIndex {
  public:
   SortedIndex(const Table* table, size_t column_index, std::string name);
 
+  /// The index's name (as registered in the catalog).
   const std::string& name() const { return name_; }
+  /// Position of the indexed column in the base table's schema.
   size_t column_index() const { return column_index_; }
+  /// The indexed base table (borrowed; outlives the index).
   const Table* table() const { return table_; }
 
   /// Rebuilds the sorted entries if the base table changed.
@@ -41,6 +51,7 @@ class SortedIndex {
   /// Row ids with key exactly `v`.
   std::vector<size_t> EqualLookup(const Value& v) const;
 
+  /// Number of (key, row id) entries as of the last Refresh.
   size_t num_entries() const { return entries_.size(); }
 
  private:

@@ -37,6 +37,9 @@
 ///                     shard mutex
 ///   MvCache (30)      MV-baseline store; same listener pattern
 ///   StatsCatalog (40) optimizer statistics; leaf within the query path
+///   Table (44)        one table's row-store mutations + partition/zone-map
+///                     state; short critical sections that call into no
+///                     other module (snapshot readers copy a shared_ptr)
 ///   Persistence (50)  durable mirror + journal; acquired under either
 ///                     cache's lock, and itself held across IO seams
 ///   FailPoint (60)    fault-injection registry, consulted at IO
@@ -72,6 +75,11 @@ inline constexpr LockRank kEpoch{24, "Epoch"};
 inline constexpr LockRank kMvCache{30, "MvCache"};
 /// StatsCatalog::mu_ — per-column statistics snapshots.
 inline constexpr LockRank kStatsCatalog{40, "StatsCatalog"};
+/// Table::mu_ — serializes one table's mutations and guards its partition
+/// scheme + zone-map state; partition_snapshot() readers only copy a
+/// published shared_ptr under it. Never held across calls into another
+/// module, so it sits just above the stats leaf.
+inline constexpr LockRank kTable{44, "Table"};
 /// Persistence::mu_ — durable mirrors, journal writer, sticky IO status.
 inline constexpr LockRank kPersistence{50, "Persistence"};
 /// FailPoint::mu_ — crash-point registry (hit counters, armings).

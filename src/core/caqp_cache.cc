@@ -738,17 +738,20 @@ void CaqpCache::Clear() {
 void CaqpCache::InvalidateRelation(const std::string& base_name) {
   std::string base = ToLower(base_name);
   std::string prefix = base + "#";
+  std::string partition_prefix = base + "@";
   ReaderMutexLock maint(&maint_mu_);
   for (Shard& shard : shards_) {
     MutexLock lock(&shard.mu);
     // The writer-side posting keys are exactly the relation names of this
-    // shard's resident entries, so matching keys (base or renamed
-    // occurrences "base#k") enumerate the affected entries. A self-join
-    // entry appears under several matching names — dedup before dropping,
-    // and copy the ids out because dropping mutates the index.
+    // shard's resident entries, so matching keys (base, renamed
+    // occurrences "base#k", or partition tags "base@k") enumerate the
+    // affected entries. A self-join entry appears under several matching
+    // names — dedup before dropping, and copy the ids out because
+    // dropping mutates the index.
     std::vector<size_t> affected;
     for (const auto& [name, list] : shard.postings) {
-      if (name == base || StartsWith(name, prefix)) {
+      if (name == base || StartsWith(name, prefix) ||
+          StartsWith(name, partition_prefix)) {
         affected.insert(affected.end(), list.begin(), list.end());
       }
     }

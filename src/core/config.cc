@@ -48,6 +48,11 @@ Status EmptyResultConfig::Validate() const {
       return Status::InvalidArgument(
           "EmptyResultConfig.invalidation is not a known InvalidationMode");
   }
+  if (partitions == 0) {
+    return Status::InvalidArgument(
+        "EmptyResultConfig.partitions must be positive (use partitions=1 "
+        "for the unpartitioned ablation)");
+  }
   ERQ_RETURN_IF_ERROR(persist.Validate());
   return Status::OK();
 }

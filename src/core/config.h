@@ -77,6 +77,28 @@ struct EmptyResultConfig {
   /// for experiments).
   bool record_low_cost = false;
 
+  /// Consult per-partition zone maps and stored (relation, partition)
+  /// emptiness facts to skip partitions of partitioned tables at scan
+  /// time (DESIGN.md §"Partitioning & data skipping"). Off = partitioned
+  /// tables scan every partition (the partitions=1-equivalent ablation).
+  bool partition_pruning = true;
+
+  /// Record observed-empty partitions of executed scans as
+  /// partition-tagged atomic query parts in C_aqp, so later globally
+  /// non-empty queries can skip them. Unlike whole-query recording this
+  /// is not gated on the query being empty or high-cost: the facts are
+  /// free observations of work the scan already did.
+  bool record_partition_empties = true;
+
+  /// Default partition fanout used by workload loaders (e.g. the TPC-R
+  /// generator) when declaring partitioning; 1 disables partitioning.
+  /// Table::SetPartitioning callers may override per table.
+  size_t partitions = 8;
+
+  /// Per-column distinct-value summary cap for newly declared partition
+  /// schemes (0 disables the summaries; see PartitionScheme).
+  size_t zone_map_distinct_cap = 16;
+
   /// Crash-safe persistence of C_aqp (snapshot + journal in
   /// `persist.dir`); disabled while the directory is empty. See
   /// DESIGN.md §7.

@@ -9,6 +9,17 @@ namespace erq {
 
 namespace {
 
+/// True when `node` is a table scan whose zero output may be an artifact
+/// of partition pruning rather than an empty relation: every skipped
+/// partition provably holds no row satisfying the scan condition, but the
+/// relation itself can be non-empty. Such a node is only *conditionally*
+/// empty, so harvesting it as a bare-relation part would wrongly record
+/// "relation is empty"; the predicate node above it (whose part carries
+/// the condition) is the lowest sound empty part.
+bool ConditionallyEmptyScan(const PhysOpPtr& node) {
+  return node->kind == PhysOpKind::kTableScan && node->partitions_pruned > 0;
+}
+
 void FindLowest(const PhysOpPtr& node, std::vector<PhysOpPtr>* out) {
   if (node->actual_rows != 0) {
     // Non-empty or unexecuted: nothing here, but empty descendants may
@@ -16,11 +27,12 @@ void FindLowest(const PhysOpPtr& node, std::vector<PhysOpPtr>* out) {
     for (const PhysOpPtr& c : node->children) FindLowest(c, out);
     return;
   }
-  // This node is empty. If some executed child is empty, the cause is
-  // deeper; otherwise this is a lowest-level empty part.
+  if (ConditionallyEmptyScan(node)) return;  // nothing sound to harvest
+  // This node is empty. If some executed child is unconditionally empty,
+  // the cause is deeper; otherwise this is a lowest-level empty part.
   bool child_empty = false;
   for (const PhysOpPtr& c : node->children) {
-    if (c->actual_rows == 0) {
+    if (c->actual_rows == 0 && !ConditionallyEmptyScan(c)) {
       child_empty = true;
       break;
     }

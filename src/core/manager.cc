@@ -14,6 +14,39 @@ std::string FormatSeconds(double seconds) {
   return buf;
 }
 
+// Adapts the detector's (relation, partition) coverage probe to the
+// executor-layer oracle interface, so erq_exec needs no knowledge of the
+// detector. Sound by Theorem 2: a hit means C_aqp stores a part over
+// "table@partition" whose condition covers the scan condition.
+class DetectorPartitionOracle final : public PartitionCoverageOracle {
+ public:
+  explicit DetectorPartitionOracle(EmptyResultDetector* detector)
+      : detector_(detector) {}
+
+  bool PartitionCovered(const std::string& table, size_t partition,
+                        const Conjunction& condition) const override {
+    return detector_->PartitionCovered(table, partition, condition);
+  }
+
+ private:
+  EmptyResultDetector* detector_;  // borrowed; outlives the oracle
+};
+
+// Sums a per-scan partition counter (>= 0 means "this scan was
+// partition-pruned") across every table scan in the executed plan.
+size_t SumPartitionField(const PhysOpPtr& root,
+                         int64_t PhysicalOperator::*field) {
+  if (root == nullptr) return 0;
+  size_t total = 0;
+  if (root->kind == PhysOpKind::kTableScan && (*root).*field >= 0) {
+    total += static_cast<size_t>((*root).*field);
+  }
+  for (const PhysOpPtr& child : root->children) {
+    total += SumPartitionField(child, field);
+  }
+  return total;
+}
+
 }  // namespace
 
 std::string QueryOutcome::Timings::ToString() const {
@@ -92,9 +125,14 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
       case TableUpdateEvent::Kind::kInsert: {
         auto table = catalog_->GetTable(event.table_name);
         if (table.ok() && event.inserted_rows != nullptr) {
+          // The partition-aware overload narrows invalidation of tagged
+          // "base@k" parts to the partitions the rows land in; it falls
+          // back to whole-relation filtering when the table is
+          // unpartitioned.
           detector_.OnRelationInserted(event.table_name,
                                        (*table)->schema(),
-                                       *event.inserted_rows);
+                                       *event.inserted_rows,
+                                       (*table)->partition_scheme());
         } else {
           detector_.OnRelationUpdated(event.table_name);
         }
@@ -367,8 +405,24 @@ StatusOr<QueryOutcome> EmptyResultManager::FinishChecked(
 
   {
     ScopedSpan span(metrics_.stage_execute, &outcome.timings.execute_seconds);
-    ERQ_ASSIGN_OR_RETURN(outcome.result, Executor::Run(physical));
+    if (config_.partition_pruning) {
+      // Pruner + oracle are stack-local but must outlive Run (they are
+      // consulted from TableScanIter::Open); the detector they borrow is
+      // internally synchronized, so probes are safe mid-execution.
+      DetectorPartitionOracle oracle(&detector_);
+      PartitionPruner pruner(&oracle);
+      ExecOptions exec_options;
+      exec_options.pruner = &pruner;
+      ERQ_ASSIGN_OR_RETURN(outcome.result,
+                           Executor::Run(physical, exec_options));
+    } else {
+      ERQ_ASSIGN_OR_RETURN(outcome.result, Executor::Run(physical));
+    }
   }
+  outcome.partitions_scanned =
+      SumPartitionField(physical, &PhysicalOperator::partitions_scanned);
+  outcome.partitions_pruned =
+      SumPartitionField(physical, &PhysicalOperator::partitions_pruned);
   outcome.executed = true;
   outcome.result_rows = outcome.result.rows.size();
   outcome.result_empty = outcome.result.rows.empty();
@@ -404,6 +458,16 @@ StatusOr<QueryOutcome> EmptyResultManager::FinishChecked(
       MutexLock lock(&mu_);
       ++stats_.recorded;
     }
+  }
+
+  if (config_.detection_enabled && config_.partition_pruning &&
+      config_.record_partition_empties) {
+    // Partition-granular harvest is not gated on result_empty or the cost
+    // gate: every scanned partition with zero scan-condition matches is
+    // ground truth the scan already paid for (see config.h).
+    ScopedSpan span(metrics_.stage_record, &outcome.timings.record_seconds);
+    outcome.partition_aqps_recorded =
+        detector_.RecordPartitionEmpties(physical);
   }
   outcome.timings.total_seconds = total_timer.Seconds();
   metrics_.query_total->Observe(outcome.timings.total_seconds);

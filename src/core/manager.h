@@ -72,6 +72,11 @@ struct QueryOutcome {
   size_t aqps_recorded = 0;     ///< atomic query parts stored after execution
   size_t branches_pruned = 0;   ///< §2.5 partial detection: set-op branches
                                 ///< proven empty and removed before execution
+  size_t partitions_scanned = 0;  ///< partitions actually read by table scans
+  size_t partitions_pruned = 0;   ///< partitions skipped via zone maps or
+                                  ///< stored (relation, partition) knowledge
+  size_t partition_aqps_recorded = 0;  ///< (relation, partition) parts stored
+                                       ///< from zero-match scanned partitions
   double estimated_cost = 0.0;  ///< optimizer cost estimate for the plan
   bool high_cost = false;       ///< estimated_cost > C_cost
 

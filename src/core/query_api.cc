@@ -81,6 +81,9 @@ QueryResponse QueryResponse::FromOutcome(const QueryOutcome& outcome,
   out.result_rows = outcome.result_rows;
   out.aqps_recorded = outcome.aqps_recorded;
   out.branches_pruned = outcome.branches_pruned;
+  out.partitions_scanned = outcome.partitions_scanned;
+  out.partitions_pruned = outcome.partitions_pruned;
+  out.partition_aqps_recorded = outcome.partition_aqps_recorded;
   out.estimated_cost = outcome.estimated_cost;
   out.timings = outcome.timings;
   for (const BoundColumn& c : outcome.result.layout.columns()) {
@@ -141,6 +144,10 @@ std::string QueryResponse::ToJson() const {
   out += rows_truncated ? "true" : "false";
   out += ",\"aqps_recorded\":" + std::to_string(aqps_recorded);
   out += ",\"branches_pruned\":" + std::to_string(branches_pruned);
+  out += ",\"partitions_scanned\":" + std::to_string(partitions_scanned);
+  out += ",\"partitions_pruned\":" + std::to_string(partitions_pruned);
+  out += ",\"partition_aqps_recorded\":" +
+         std::to_string(partition_aqps_recorded);
   out += ",\"estimated_cost\":" + JsonNumber(estimated_cost);
   out += "},\"timings\":{";
   out += "\"parse_seconds\":" + JsonNumber(timings.parse_seconds);
@@ -211,6 +218,17 @@ std::string QueryResponse::ToText() const {
   if (aqps_recorded > 0) {
     std::snprintf(buf, sizeof(buf), "; %zu atomic query part(s) recorded",
                   aqps_recorded);
+    out += buf;
+  }
+  if (partitions_pruned > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "; partitions scanned=%zu pruned=%zu", partitions_scanned,
+                  partitions_pruned);
+    out += buf;
+  }
+  if (partition_aqps_recorded > 0) {
+    std::snprintf(buf, sizeof(buf), "; %zu partition part(s) recorded",
+                  partition_aqps_recorded);
     out += buf;
   }
   if (!rows.empty() && !columns.empty()) {

@@ -89,6 +89,10 @@ struct QueryResponse {
   size_t result_rows = 0;        ///< total rows the query produced
   size_t aqps_recorded = 0;      ///< atomic parts harvested into C_aqp
   size_t branches_pruned = 0;    ///< §2.5 set-op branches removed
+  size_t partitions_scanned = 0;  ///< partitions read by the plan's scans
+  size_t partitions_pruned = 0;   ///< partitions skipped via zone maps or
+                                  ///< stored (relation, partition) parts
+  size_t partition_aqps_recorded = 0;  ///< (relation, partition) parts stored
   double estimated_cost = 0.0;   ///< optimizer cost estimate
 
   QueryOutcome::Timings timings;  ///< per-stage wall-clock breakdown

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/metrics.h"
+#include "common/string_util.h"
 
 namespace erq {
 
@@ -17,6 +18,8 @@ struct ExecMetrics {
   Counter* runs;
   Counter* rows_scanned;
   Counter* rows_emitted;
+  Counter* partitions_pruned;
+  Counter* partitions_scanned;
 
   static const ExecMetrics& Get() {
     static const ExecMetrics m = [] {
@@ -25,11 +28,26 @@ struct ExecMetrics {
           r.GetCounter("erq.exec.runs"),
           r.GetCounter("erq.exec.rows_scanned"),
           r.GetCounter("erq.exec.rows_emitted"),
+          r.GetCounter("erq.exec.partitions.pruned"),
+          r.GetCounter("erq.exec.partitions.scanned"),
       };
     }();
     return m;
   }
 };
+
+/// Sums one partitioned-scan observation field over every scan in a plan.
+uint64_t SumPartitionCounts(const PhysicalOperator& op,
+                            int64_t PhysicalOperator::*field) {
+  uint64_t total = 0;
+  if (op.kind == PhysOpKind::kTableScan && op.*field > 0) {
+    total += static_cast<uint64_t>(op.*field);
+  }
+  for (const PhysOpPtr& child : op.children) {
+    total += SumPartitionCounts(*child, field);
+  }
+  return total;
+}
 
 /// Total rows produced by leaf access paths (table/index scans) in one
 /// executed plan — the "work done" complement to rows_emitted.
@@ -53,7 +71,7 @@ class Iter {
 
 using IterPtr = std::unique_ptr<Iter>;
 
-StatusOr<IterPtr> MakeIter(const PhysOpPtr& op);
+StatusOr<IterPtr> MakeIter(const PhysOpPtr& op, const ExecOptions& options);
 
 /// Counts emitted rows into the plan node.
 class CountingIter : public Iter {
@@ -77,22 +95,85 @@ class CountingIter : public Iter {
   IterPtr inner_;
 };
 
+/// Full-table or partition-pruned scan. The pruned path visits only
+/// surviving partitions but merges their row ids into globally ascending
+/// order, so the emitted row sequence is byte-identical to the full
+/// scan's minus rows from partitions provably irrelevant to the scan
+/// condition — rows the Filter above would drop anyway. Per surviving
+/// partition it counts scanned rows and scan-condition matches; a
+/// scanned partition with zero matches is ground truth the detector
+/// records as a partition-tagged atomic query part.
 class TableScanIter : public Iter {
  public:
-  explicit TableScanIter(const PhysicalOperator& op) : op_(op) {}
+  TableScanIter(PhysicalOperator* op, const ExecOptions& options)
+      : op_(op), options_(options) {}
 
   Status Open() override {
     pos_ = 0;
+    partitioned_ = false;
+    row_ids_.clear();
+    stat_of_row_.clear();
+    if (options_.pruner == nullptr || !op_->has_scan_condition ||
+        op_->table == nullptr) {
+      return Status::OK();
+    }
+    snapshot_ = op_->table->partition_snapshot();
+    if (snapshot_ == nullptr) return Status::OK();
+    partitioned_ = true;
+    std::vector<size_t> survivors =
+        options_.pruner->Prune(ToLower(op_->table_name), op_->table->schema(),
+                               *snapshot_, op_->scan_condition);
+    op_->partition_stats.clear();
+    op_->partition_stats.reserve(survivors.size());
+    std::vector<std::pair<size_t, size_t>> merged;  // (row id, stat index)
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      PartitionScanStat stat;
+      stat.partition = survivors[i];
+      op_->partition_stats.push_back(stat);
+      for (size_t rid : snapshot_->partitions[survivors[i]].row_ids) {
+        merged.emplace_back(rid, i);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    row_ids_.reserve(merged.size());
+    stat_of_row_.reserve(merged.size());
+    for (const auto& [rid, stat_index] : merged) {
+      row_ids_.push_back(rid);
+      stat_of_row_.push_back(stat_index);
+    }
+    op_->partitions_scanned = static_cast<int64_t>(survivors.size());
+    op_->partitions_pruned =
+        static_cast<int64_t>(snapshot_->partitions.size() - survivors.size());
     return Status::OK();
   }
 
   StatusOr<std::optional<Row>> Next() override {
-    if (pos_ >= op_.table->num_rows()) return std::optional<Row>{};
-    return std::optional<Row>(op_.table->row(pos_++));
+    if (!partitioned_) {
+      if (pos_ >= op_->table->num_rows()) return std::optional<Row>{};
+      return std::optional<Row>(op_->table->row(pos_++));
+    }
+    if (pos_ >= row_ids_.size()) return std::optional<Row>{};
+    size_t i = pos_++;
+    const Row& row = op_->table->row(row_ids_[i]);
+    PartitionScanStat& stat = op_->partition_stats[stat_of_row_[i]];
+    ++stat.rows;
+    if (op_->partition_probe != nullptr) {
+      ERQ_ASSIGN_OR_RETURN(bool pass,
+                           PredicatePasses(*op_->partition_probe, row));
+      if (pass) ++stat.matches;
+    } else {
+      ++stat.matches;
+    }
+    return std::optional<Row>(row);
   }
 
  private:
-  const PhysicalOperator& op_;
+  PhysicalOperator* op_;
+  const ExecOptions& options_;
+  std::shared_ptr<const PartitionSnapshot> snapshot_;
+  bool partitioned_ = false;
+  std::vector<size_t> row_ids_;      // ascending, pruned-path only
+  std::vector<size_t> stat_of_row_;  // parallel: partition_stats index
   size_t pos_ = 0;
 };
 
@@ -778,84 +859,89 @@ class ExceptIter : public Iter {
   std::unordered_set<Row, RowHash, RowEq> emitted_;
 };
 
-StatusOr<IterPtr> MakeInner(const PhysOpPtr& op) {
+StatusOr<IterPtr> MakeInner(const PhysOpPtr& op, const ExecOptions& options) {
   switch (op->kind) {
     case PhysOpKind::kTableScan:
-      return IterPtr(new TableScanIter(*op));
+      return IterPtr(new TableScanIter(op.get(), options));
     case PhysOpKind::kIndexScan:
       return IterPtr(new IndexScanIter(*op));
     case PhysOpKind::kFilter: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));
       return IterPtr(new FilterIter(*op, std::move(child)));
     }
     case PhysOpKind::kProject: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));
       return IterPtr(new ProjectIter(*op, std::move(child)));
     }
     case PhysOpKind::kNestedLoopsJoin: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(
           new NestedLoopsJoinIter(*op, std::move(left), std::move(right)));
     }
     case PhysOpKind::kHashJoin: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(new HashJoinIter(*op, std::move(left), std::move(right)));
     }
     case PhysOpKind::kMergeJoin: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(
           new MergeJoinIter(*op, std::move(left), std::move(right)));
     }
     case PhysOpKind::kSemiJoin: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(new SemiJoinIter(*op, std::move(left), std::move(right)));
     }
     case PhysOpKind::kLeftOuterJoin: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(
           new LeftOuterJoinIter(*op, std::move(left), std::move(right)));
     }
     case PhysOpKind::kSort: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));
       return IterPtr(new SortIter(*op, std::move(child)));
     }
     case PhysOpKind::kDistinct: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));
       return IterPtr(new DistinctIter(std::move(child)));
     }
     case PhysOpKind::kAggregate: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));
       return IterPtr(new AggregateIter(*op, std::move(child)));
     }
     case PhysOpKind::kUnion: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(new UnionIter(*op, std::move(left), std::move(right)));
     }
     case PhysOpKind::kExcept: {
-      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0]));
-      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1]));
+      ERQ_ASSIGN_OR_RETURN(IterPtr left, MakeIter(op->children[0], options));
+      ERQ_ASSIGN_OR_RETURN(IterPtr right, MakeIter(op->children[1], options));
       return IterPtr(new ExceptIter(*op, std::move(left), std::move(right)));
     }
   }
   return Status::Internal("unknown physical operator");
 }
 
-StatusOr<IterPtr> MakeIter(const PhysOpPtr& op) {
-  ERQ_ASSIGN_OR_RETURN(IterPtr inner, MakeInner(op));
+StatusOr<IterPtr> MakeIter(const PhysOpPtr& op, const ExecOptions& options) {
+  ERQ_ASSIGN_OR_RETURN(IterPtr inner, MakeInner(op, options));
   return IterPtr(new CountingIter(op.get(), std::move(inner)));
 }
 
 }  // namespace
 
 StatusOr<ExecutionResult> Executor::Run(const PhysOpPtr& plan) {
+  return Run(plan, ExecOptions{});
+}
+
+StatusOr<ExecutionResult> Executor::Run(const PhysOpPtr& plan,
+                                        const ExecOptions& options) {
   plan->ResetActuals();
-  ERQ_ASSIGN_OR_RETURN(IterPtr iter, MakeIter(plan));
+  ERQ_ASSIGN_OR_RETURN(IterPtr iter, MakeIter(plan, options));
   ERQ_RETURN_IF_ERROR(iter->Open());
   ExecutionResult result;
   result.layout = plan->layout;
@@ -868,6 +954,10 @@ StatusOr<ExecutionResult> Executor::Run(const PhysOpPtr& plan) {
   metrics.runs->Increment();
   metrics.rows_scanned->Increment(ScannedRows(*plan));
   metrics.rows_emitted->Increment(result.rows.size());
+  metrics.partitions_pruned->Increment(
+      SumPartitionCounts(*plan, &PhysicalOperator::partitions_pruned));
+  metrics.partitions_scanned->Increment(
+      SumPartitionCounts(*plan, &PhysicalOperator::partitions_scanned));
   return result;
 }
 

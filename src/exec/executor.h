@@ -1,31 +1,54 @@
 #pragma once
 
+/// \file
+/// The pull-based plan executor and its per-run options (currently: the
+/// partition pruner a scan consults to skip partitions).
+
 #include <vector>
 
 #include "common/statusor.h"
+#include "exec/partition_pruner.h"
 #include "plan/physical_plan.h"
 
 namespace erq {
 
 /// A fully materialized query result.
 struct ExecutionResult {
+  /// The result rows, in plan output order.
   std::vector<Row> rows;
+  /// Column layout of the rows.
   Layout layout;
 
+  /// True when the result has no rows.
   bool empty() const { return rows.empty(); }
+};
+
+/// Per-run executor options.
+struct ExecOptions {
+  /// When non-null, table scans over partitioned tables with a derived
+  /// scan condition consult the pruner at open and visit only surviving
+  /// partitions (in globally ascending row order, so results are
+  /// byte-identical to the full scan). Must outlive the Run call.
+  const PartitionPruner* pruner = nullptr;
 };
 
 /// Pull-based (Volcano) executor over physical plans. Every operator
 /// counts the rows it emits into PhysicalOperator::actual_rows — the
 /// per-operator output cardinalities that Operation O1 displays and
 /// Operation O2 mines for lowest-level empty query parts (the paper keeps
-/// them "as collected statistics during query execution").
+/// them "as collected statistics during query execution"). Partitioned
+/// scans additionally record per-partition row/match counts
+/// (PhysicalOperator::partition_stats) that the detector harvests into
+/// partition-tagged atomic query parts.
 class Executor {
  public:
-  /// Runs the plan to completion. Resets and then fills actual_rows
-  /// throughout the tree.
+  /// Runs the plan to completion with default options. Resets and then
+  /// fills actual_rows throughout the tree.
   static StatusOr<ExecutionResult> Run(const PhysOpPtr& plan);
+
+  /// Runs the plan with explicit options (partition pruning).
+  static StatusOr<ExecutionResult> Run(const PhysOpPtr& plan,
+                                       const ExecOptions& options);
 };
 
 }  // namespace erq
-

@@ -1,0 +1,29 @@
+#include "exec/partition_pruner.h"
+
+#include "stats/partition_stats.h"
+
+namespace erq {
+
+std::vector<size_t> PartitionPruner::Prune(const std::string& table_name,
+                                           const Schema& schema,
+                                           const PartitionSnapshot& snapshot,
+                                           const Conjunction& condition) const {
+  std::vector<size_t> survivors;
+  survivors.reserve(snapshot.partitions.size());
+  for (size_t k = 0; k < snapshot.partitions.size(); ++k) {
+    const PartitionState& part = snapshot.partitions[k];
+    if (part.row_count() == 0) continue;  // nothing to scan, ever
+    if (options_.use_zone_maps &&
+        ZoneMapsRefute(part, schema, table_name, condition)) {
+      continue;
+    }
+    if (options_.use_cache && oracle_ != nullptr &&
+        oracle_->PartitionCovered(table_name, k, condition)) {
+      continue;
+    }
+    survivors.push_back(k);
+  }
+  return survivors;
+}
+
+}  // namespace erq

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file
+/// Partition pruning for the executor's table scan: decides, per
+/// partition of a partitioned table, whether the scan may skip it because
+/// no row in it can satisfy the scan condition. Two evidence sources
+/// compose: the partition's own zone maps (stats/partition_stats.h) and —
+/// through an abstract oracle, so the exec layer stays independent of the
+/// detector/C_aqp machinery above it — previously recorded
+/// (relation, partition) emptiness knowledge. See DESIGN.md
+/// §"Partitioning & data skipping".
+
+#include <string>
+#include <vector>
+
+#include "catalog/partition.h"
+#include "expr/primitive.h"
+#include "types/schema.h"
+
+namespace erq {
+
+/// Knowledge source the exec layer cannot see directly (the detector's
+/// C_aqp cache, in practice — EmptyResultManager implements this by
+/// probing partition-tagged atomic query parts). Implementations must be
+/// sound: return true only when *no* row of the partition can satisfy
+/// `condition`.
+class PartitionCoverageOracle {
+ public:
+  virtual ~PartitionCoverageOracle() = default;
+
+  /// True when stored knowledge proves that partition `partition` of the
+  /// canonical (lowercased) relation `table` contains no row satisfying
+  /// `condition`. Called once per un-refuted partition per scan open, so
+  /// it must be cheap and safe to call concurrently.
+  virtual bool PartitionCovered(const std::string& table, size_t partition,
+                                const Conjunction& condition) const = 0;
+};
+
+/// Which evidence sources a PartitionPruner consults. Empty partitions
+/// are always skipped regardless of these knobs (nothing to scan).
+struct PartitionPrunerOptions {
+  /// Refute partitions via their zone maps (min/max + distinct summary).
+  bool use_zone_maps = true;
+  /// Refute partitions via the coverage oracle (stored C_aqp knowledge).
+  bool use_cache = true;
+};
+
+/// Stateless pruning policy handed to Executor::Run via ExecOptions; the
+/// scan consults it once at open. The pruner never *adds* partitions —
+/// it only removes ones provably irrelevant to the condition, so a scan
+/// over the survivors emits exactly the rows the full scan's Filter
+/// would have kept.
+class PartitionPruner {
+ public:
+  /// `oracle` may be null (zone maps only); it must outlive the pruner.
+  explicit PartitionPruner(const PartitionCoverageOracle* oracle = nullptr,
+                           PartitionPrunerOptions options = {})
+      : oracle_(oracle), options_(options) {}
+
+  /// Returns the ascending ids of partitions the scan must visit:
+  /// non-empty partitions neither zone-map-refuted nor covered by the
+  /// oracle. `table_name` must be the canonical lowercased relation name
+  /// the condition's terms use.
+  std::vector<size_t> Prune(const std::string& table_name,
+                            const Schema& schema,
+                            const PartitionSnapshot& snapshot,
+                            const Conjunction& condition) const;
+
+ private:
+  const PartitionCoverageOracle* oracle_;
+  PartitionPrunerOptions options_;
+};
+
+}  // namespace erq

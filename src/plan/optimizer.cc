@@ -5,6 +5,9 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "expr/normalize.h"
+#include "expr/primitive.h"
+#include "stats/partition_stats.h"
 
 namespace erq {
 
@@ -407,6 +410,47 @@ StatusOr<PhysOpPtr> Optimizer::BuildAccessPath(
     scan->layout = scan_layout;
     scan->estimated_rows = table_rows;
     scan->estimated_cost = cost_model_.TableScanCost(table_rows);
+    if (table->partitioned() && !conjuncts.empty()) {
+      // Derive the partition-pruning scan condition: the conjunction of
+      // the primitive-classifiable single-table conjuncts, with the alias
+      // rewritten to the canonical (lowercased base table) relation name.
+      // Conjuncts that fail classification are simply left out — a weaker
+      // condition still implied by the full predicate, so pruning against
+      // it stays sound (the Filter above applies everything regardless;
+      // the conjuncts vector is deliberately not consumed here).
+      std::unordered_map<std::string, std::string> to_canonical{
+          {ToLower(alias), ToLower(table_name)}};
+      std::vector<PrimitiveTerm> terms;
+      std::vector<ExprPtr> probe_parts;
+      for (const ExprPtr& c : conjuncts) {
+        StatusOr<ExprPtr> canonical = RewriteQualifiers(c, to_canonical);
+        if (!canonical.ok()) continue;
+        StatusOr<PrimitiveTerm> term = PrimitiveTerm::FromExpr(canonical.value());
+        if (!term.ok()) continue;
+        if (term.value().kind() == PrimitiveTerm::Kind::kOpaque) continue;
+        terms.push_back(std::move(term).value());
+        probe_parts.push_back(c);
+      }
+      if (!terms.empty()) {
+        scan->scan_condition = Conjunction::Make(std::move(terms));
+        scan->has_scan_condition = true;
+        ERQ_ASSIGN_OR_RETURN(
+            scan->partition_probe,
+            BindExpr(Expr::MakeAnd(std::move(probe_parts)), scan_layout));
+        // Cost the scan by its zone-map survivor bound, so the C_cost gate
+        // sees the pruned (cheaper) scan the executor will actually run.
+        auto snapshot = table->partition_snapshot();
+        if (snapshot != nullptr) {
+          PartitionSurvivorEstimate est =
+              EstimateSurvivors(*snapshot, table->schema(),
+                                ToLower(table_name), scan->scan_condition);
+          double surviving = static_cast<double>(est.surviving_rows);
+          scan->estimated_rows = std::min(table_rows, surviving);
+          scan->estimated_cost =
+              cost_model_.TableScanCost(scan->estimated_rows);
+        }
+      }
+    }
   }
 
   if (conjuncts.empty()) return scan;

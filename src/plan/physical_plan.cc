@@ -40,6 +40,9 @@ const char* PhysOpKindToString(PhysOpKind kind) {
 
 void PhysicalOperator::ResetActuals() {
   actual_rows = -1;
+  partitions_scanned = -1;
+  partitions_pruned = -1;
+  partition_stats.clear();
   for (const PhysOpPtr& c : children) c->ResetActuals();
 }
 
@@ -50,6 +53,15 @@ std::string PhysicalOperator::ToString(int indent) const {
     case PhysOpKind::kTableScan:
       out += " " + table_name;
       if (alias != table_name) out += " AS " + alias;
+      if (has_scan_condition && scan_condition.size() > 0) {
+        out += " zone [" + scan_condition.ToString() + "]";
+      }
+      if (partitions_scanned >= 0) {
+        out += " partitions(scanned=" +
+               std::to_string(static_cast<long long>(partitions_scanned)) +
+               " pruned=" +
+               std::to_string(static_cast<long long>(partitions_pruned)) + ")";
+      }
       break;
     case PhysOpKind::kIndexScan:
       out += " " + table_name;

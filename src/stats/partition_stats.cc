@@ -1,0 +1,76 @@
+#include "stats/partition_stats.h"
+
+namespace erq {
+
+namespace {
+
+// True when `zm` proves no live value of the column lies in `probe`.
+bool RefutesInterval(const ColumnZoneMap& zm, const ValueInterval& probe) {
+  // Interval terms only match non-NULL values.
+  if (zm.non_null == 0) return true;
+  if (zm.min.has_value() && zm.max.has_value()) {
+    ValueInterval bounds = ValueInterval::Range(*zm.min, true, *zm.max, true);
+    // IntersectWith is a no-op (returns false) on incomparable endpoint
+    // types; in that case the bounds prove nothing — fall through.
+    if (bounds.IntersectWith(probe) && bounds.IsEmpty()) return true;
+  }
+  if (!zm.distinct_overflow && !zm.distinct.empty()) {
+    for (const Value& v : zm.distinct) {
+      if (probe.ContainsPoint(v)) return false;
+    }
+    return true;  // complete summary, no member inside the probe interval
+  }
+  return false;
+}
+
+// True when `zm` proves every live value equals `c` (so `col != c` is
+// unsatisfiable in this partition).
+bool RefutesNotEqual(const ColumnZoneMap& zm, const Value& c) {
+  if (zm.non_null == 0) return true;
+  if (zm.distinct_overflow || zm.distinct.size() != 1) return false;
+  const Value& only = zm.distinct.front();
+  return only.ComparableWith(c) && only.Compare(c) == 0;
+}
+
+}  // namespace
+
+bool ZoneMapsRefute(const PartitionState& part, const Schema& schema,
+                    const std::string& relation,
+                    const Conjunction& condition) {
+  if (part.row_count() == 0) return true;
+  if (condition.unsatisfiable()) return true;
+  for (const PrimitiveTerm& term : condition.terms()) {
+    if (term.kind() != PrimitiveTerm::Kind::kInterval &&
+        term.kind() != PrimitiveTerm::Kind::kNotEqual) {
+      continue;
+    }
+    if (term.column().relation != relation) continue;
+    StatusOr<size_t> col = schema.IndexOf(term.column().column);
+    if (!col.ok() || col.value() >= part.columns.size()) continue;
+    const ColumnZoneMap& zm = part.columns[col.value()];
+    if (term.kind() == PrimitiveTerm::Kind::kInterval) {
+      if (RefutesInterval(zm, term.interval())) return true;
+    } else {
+      if (RefutesNotEqual(zm, term.value())) return true;
+    }
+  }
+  return false;
+}
+
+PartitionSurvivorEstimate EstimateSurvivors(const PartitionSnapshot& snapshot,
+                                            const Schema& schema,
+                                            const std::string& relation,
+                                            const Conjunction& condition) {
+  PartitionSurvivorEstimate est;
+  for (const PartitionState& part : snapshot.partitions) {
+    if (ZoneMapsRefute(part, schema, relation, condition)) {
+      ++est.pruned_partitions;
+    } else {
+      ++est.surviving_partitions;
+      est.surviving_rows += part.row_count();
+    }
+  }
+  return est;
+}
+
+}  // namespace erq

@@ -26,6 +26,11 @@ struct TpcrConfig {
   int date_start_year = 1992;      // orderdate domain start
   int num_days = 2406;             // ~1992-01-01 .. 1998-08-02
   uint64_t seed = 42;
+  /// Horizontal partitions per table (range on customer.custkey,
+  /// orders.orderkey, lineitem.orderkey via equi-width bounds computed
+  /// after load). 1 (or 0) leaves the tables unpartitioned — the
+  /// ablation baseline for pruning experiments.
+  size_t partitions = 1;
 };
 
 /// Handles plus co-occurrence indexes used by the query generators to

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Machine-readable C_aqp perf snapshot: runs the microbenchmarks and the
 # concurrent-throughput benchmarks and merges their google-benchmark JSON
-# into one document, so the perf trajectory is tracked PR over PR.
+# into one document, so the perf trajectory is tracked PR over PR. The
+# partition-pruning sweep (bench_partition) is merged into its own
+# document, BENCH_partition.json, so the pre-existing BENCH_caqp.json
+# series stays comparable across PRs.
 #
 #   tools/bench_json.sh [build-dir] [output.json]
 #     build-dir    defaults to build (must contain bench/ binaries)
 #     output.json  defaults to BENCH_caqp.json in the repo root
+#                  (BENCH_partition.json is written next to it)
 #
 #   BENCH_MIN_TIME=0.01 tools/bench_json.sh   # smoke mode (CI): just prove
 #                                             # the benches run and emit JSON
@@ -31,7 +35,7 @@ fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-for b in bench_concurrent bench_micro; do
+for b in bench_concurrent bench_micro bench_partition; do
   bin="$BUILD/bench/$b"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build the bench targets first" >&2
@@ -66,12 +70,24 @@ EPOCH_BUCKETS=$(grep -oE 'active_\[[0-9]+\]' src/common/epoch.h \
   | head -1 | grep -oE '[0-9]+')
 EPOCH_STRIPES=$(grep -oE 'kStripes = [0-9]+' src/common/epoch.h \
   | grep -oE '[0-9]+')
+ZONE_MAP_CAP=$(grep -oE 'zone_map_distinct_cap = [0-9]+' src/core/config.h \
+  | grep -oE '[0-9]+')
 
-python3 - "$TMP" "$OUT" "$CAQP_SHARDS" "$EPOCH_BUCKETS" "$EPOCH_STRIPES" <<'PY'
+PART_OUT="$(dirname "$OUT")/BENCH_partition.json"
+
+python3 - "$TMP" "$OUT" "$CAQP_SHARDS" "$EPOCH_BUCKETS" "$EPOCH_STRIPES" \
+  "$PART_OUT" "$ZONE_MAP_CAP" <<'PY'
 import json, os, subprocess, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
+part_out = sys.argv[6]
+
+rev = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip()
+
 merged = {"context": {}, "benchmarks": {}}
+partition = {"context": {}, "benchmarks": {}}
 metrics_path = os.path.join(tmp, "_metrics.out")
 if os.path.exists(metrics_path):
     with open(metrics_path) as f:
@@ -86,13 +102,11 @@ for name in sorted(os.listdir(tmp)):
         continue
     with open(os.path.join(tmp, name)) as f:
         doc = json.load(f)
-    if not merged["context"]:
-        merged["context"] = doc.get("context", {})
-    merged["benchmarks"][name[: -len(".json")]] = doc.get("benchmarks", [])
+    target = partition if name == "bench_partition.json" else merged
+    if not target["context"]:
+        target["context"] = doc.get("context", {})
+    target["benchmarks"][name[: -len(".json")]] = doc.get("benchmarks", [])
 
-rev = subprocess.run(
-    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
-).stdout.strip()
 if rev:
     merged["context"]["git_revision"] = rev
 merged["context"]["caqp_default_shards"] = int(sys.argv[3])
@@ -103,4 +117,13 @@ with open(out, "w") as f:
     json.dump(merged, f, indent=1, sort_keys=True)
     f.write("\n")
 print(f"wrote {out}")
+
+if partition["benchmarks"]:
+    if rev:
+        partition["context"]["git_revision"] = rev
+    partition["context"]["zone_map_distinct_cap"] = int(sys.argv[7])
+    with open(part_out, "w") as f:
+        json.dump(partition, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {part_out}")
 PY

@@ -76,6 +76,25 @@ print("metrics_dump: OK (%d counters, %d histograms)"
   else
     bad "plain (metrics_dump smoke)"
   fi
+  # Partition-pruning smoke: over a partitioned index-free TPC-R
+  # instance, a canned selective query must skip partitions — the binary
+  # itself fails on zero pruned, and the emitted registry dump must carry
+  # nonzero erq.exec.partitions.pruned (DESIGN.md §12).
+  log "plain: metrics_dump --partitions 8 pruning smoke"
+  if "$dir/tools/metrics_dump" --trace tpcr --json --queries 20 \
+      --partitions 8 \
+      | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+pruned = doc["counters"]["erq.exec.partitions.pruned"]
+assert pruned > 0, "partition pruning never fired"
+print("partition smoke: OK (%d partitions pruned, %d scanned)"
+      % (pruned, doc["counters"]["erq.exec.partitions.scanned"]))
+'; then
+    ok "plain (partition pruning smoke)"
+  else
+    bad "plain (partition pruning smoke)"
+  fi
   # Durability smoke: cache_inspect must decode and verify the files a
   # real manager writes (README §Durability).
   log "plain: cache_inspect --verify smoke"

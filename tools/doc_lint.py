@@ -2,8 +2,10 @@
 """Documentation lint: public declarations need Doxygen comments.
 
 Scans the API headers of the paper-contribution layer (src/core/*.h),
-the persistence layer (src/persist/*.h), and the network front end
-(src/server/*.h), and reports every public
+the persistence layer (src/persist/*.h), the network front end
+(src/server/*.h), the storage layer (src/catalog/*.h — tables,
+partitioning, zone maps), and the executor (src/exec/*.h — scan
+pruning), and reports every public
 declaration — namespace-scope class/struct/enum/function/constant, or
 public class member — that is not immediately preceded by a `///` (or
 `/** ... */`) documentation comment, and every header missing a
@@ -27,7 +29,8 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 TARGET_GLOBS = [("src/core", "*.h"), ("src/persist", "*.h"),
-                ("src/server", "*.h")]
+                ("src/server", "*.h"), ("src/catalog", "*.h"),
+                ("src/exec", "*.h")]
 
 ACCESS_RE = re.compile(r"^(public|private|protected)\s*:")
 SCOPE_OPEN_RE = re.compile(
