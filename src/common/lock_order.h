@@ -28,6 +28,9 @@
 ///                     registers instruments (Metrics) — hence below
 ///                     every engine lock
 ///   Manager (10)      pipeline counters; never held across module calls
+///   ReuseStore (12)   intermediate-result reuse store writer state; held
+///                     across epoch retirement of replaced index
+///                     snapshots, hence below Epoch
 ///   CaqpCache (20)    C_aqp maintenance gate; shard mutators hold the
 ///                     shared side, Clear/SetChangeListener the exclusive
 ///                     side
@@ -64,6 +67,10 @@ inline constexpr LockRank kServer{4, "Server"};
 inline constexpr LockRank kTenantRegistry{6, "TenantRegistry"};
 /// EmptyResultManager::mu_ — aggregate counters + adaptive cost gate.
 inline constexpr LockRank kManager{10, "Manager"};
+/// ReuseStore::mu_ — admission/eviction/invalidation writer state of the
+/// intermediate-result reuse store; epoch-retires replaced index
+/// snapshots while held (reader lookups are lock-free, like C_aqp's).
+inline constexpr LockRank kReuseStore{12, "ReuseStore"};
 /// CaqpCache::maint_mu_ — the cache-wide maintenance gate (shard
 /// mutators shared, Clear/SetChangeListener exclusive).
 inline constexpr LockRank kCaqpCache{20, "CaqpCache"};

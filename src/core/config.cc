@@ -53,6 +53,20 @@ Status EmptyResultConfig::Validate() const {
         "EmptyResultConfig.partitions must be positive (use partitions=1 "
         "for the unpartitioned ablation)");
   }
+  if (reuse.enabled) {
+    if (reuse.max_rows == 0) {
+      return Status::InvalidArgument(
+          "EmptyResultConfig.reuse.max_rows must be positive when reuse is "
+          "enabled: no intermediate could ever be harvested (zero-row "
+          "emptiness facts already live in C_aqp)");
+    }
+    if (reuse.budget_bytes == 0) {
+      return Status::InvalidArgument(
+          "EmptyResultConfig.reuse.budget_bytes must be positive when "
+          "reuse is enabled: every admission would be rejected (disable "
+          "reuse via reuse.enabled=false instead)");
+    }
+  }
   ERQ_RETURN_IF_ERROR(persist.Validate());
   return Status::OK();
 }
@@ -88,10 +102,16 @@ Status ServerOptions::Validate() const {
         "ServerOptions.tenant_config.persist must stay disabled: tenants "
         "share a process but not a journal directory");
   }
+  if (tenant_config.reuse.enabled && global_reuse_bytes < max_tenants) {
+    return Status::InvalidArgument(
+        "ServerOptions.global_reuse_bytes must give every tenant a "
+        "positive reuse budget (global_reuse_bytes >= max_tenants)");
+  }
   // Validate the template with the smallest quota any tenant can get, so
   // a config that validates here cannot fail at lazy tenant creation.
   EmptyResultConfig probe = tenant_config;
   probe.n_max = global_n_max / max_tenants;
+  probe.reuse.budget_bytes = global_reuse_bytes / max_tenants;
   ERQ_RETURN_IF_ERROR(probe.Validate());
   return Status::OK();
 }

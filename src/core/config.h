@@ -30,6 +30,26 @@ enum class EvictionPolicy { kClock, kLru, kFifo };
 /// everything touching the relation.
 enum class InvalidationMode { kDropAll, kDropTouched, kFilterIrrelevant };
 
+/// Tuning knobs of the intermediate-result reuse store (src/reuse/,
+/// DESIGN.md §13). Defined here rather than next to ReuseStore so the
+/// config layer stays free of reuse/epoch/plan includes.
+struct ReuseConfig {
+  /// Master switch; when false the manager neither harvests operator
+  /// outputs nor splices stored intermediates into new plans. Off by
+  /// default so the pipeline's baseline behavior is unchanged.
+  bool enabled = false;
+
+  /// Admission row cap: intermediates with more rows are never harvested
+  /// (the executor abandons its buffering wrapper the instant the cap is
+  /// exceeded, so oversized intermediates cost no materialization).
+  size_t max_rows = 1024;
+
+  /// Store-wide byte budget across all entries; admission evicts by
+  /// benefit-per-byte until the new entry fits. An entry larger than the
+  /// whole budget is rejected outright.
+  size_t budget_bytes = 8u << 20;
+};
+
 /// Tuning knobs of the fast-detection method.
 struct EmptyResultConfig {
   /// N_max: maximum number of atomic query parts stored in C_aqp (§2.3).
@@ -99,6 +119,11 @@ struct EmptyResultConfig {
   /// schemes (0 disables the summaries; see PartitionScheme).
   size_t zone_map_distinct_cap = 16;
 
+  /// Intermediate-result reuse store (harvest low-cardinality operator
+  /// outputs of executed high-cost queries, splice them into later
+  /// plans). Disabled by default. See DESIGN.md §13.
+  ReuseConfig reuse;
+
   /// Crash-safe persistence of C_aqp (snapshot + journal in
   /// `persist.dir`); disabled while the directory is empty. See
   /// DESIGN.md §7.
@@ -140,6 +165,12 @@ struct ServerOptions {
   /// tenant. Each tenant's manager gets an equal static split
   /// (global_n_max / max_tenants) as its EmptyResultConfig::n_max.
   size_t global_n_max = 100000;
+
+  /// Global reuse-store byte budget shared by every tenant, split the
+  /// same way: each tenant's manager gets global_reuse_bytes/max_tenants
+  /// as its EmptyResultConfig::reuse.budget_bytes. Only consulted when
+  /// the tenant template enables reuse.
+  size_t global_reuse_bytes = 64u << 20;
 
   /// Upper bound on an accepted HTTP request (start line + headers +
   /// body). Oversized requests are answered with 400 and the connection

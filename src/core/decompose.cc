@@ -9,15 +9,22 @@ namespace erq {
 
 namespace {
 
-/// True when `node` is a table scan whose zero output may be an artifact
-/// of partition pruning rather than an empty relation: every skipped
-/// partition provably holds no row satisfying the scan condition, but the
-/// relation itself can be non-empty. Such a node is only *conditionally*
-/// empty, so harvesting it as a bare-relation part would wrongly record
-/// "relation is empty"; the predicate node above it (whose part carries
-/// the condition) is the lowest sound empty part.
+/// True when `node` is a scan whose zero output may be an artifact of
+/// its scan condition rather than an empty relation. Two cases:
+///   * a partition-pruned table scan — every skipped partition provably
+///     holds no row satisfying the scan condition, but the relation
+///     itself can be non-empty;
+///   * a spliced CachedResultScan — a zero-row reuse entry means
+///     sigma_stored_condition(relation) is empty, not that the relation
+///     is.
+/// Such a node is only *conditionally* empty, so harvesting it as a
+/// bare-relation part would wrongly record "relation is empty"; the
+/// predicate node above it (whose part carries the condition) is the
+/// lowest sound empty part.
 bool ConditionallyEmptyScan(const PhysOpPtr& node) {
-  return node->kind == PhysOpKind::kTableScan && node->partitions_pruned > 0;
+  return (node->kind == PhysOpKind::kTableScan &&
+          node->partitions_pruned > 0) ||
+         node->kind == PhysOpKind::kCachedResultScan;
 }
 
 void FindLowest(const PhysOpPtr& node, std::vector<PhysOpPtr>* out) {

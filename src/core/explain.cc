@@ -8,9 +8,12 @@ namespace erq {
 namespace {
 
 /// Total rows read by the scans under `node` (input volume, for context).
+/// CachedResultScan counts too: its rows feed the operators above it
+/// even though no base table was touched.
 int64_t InputRows(const PhysicalOperator& node) {
   if (node.kind == PhysOpKind::kTableScan ||
-      node.kind == PhysOpKind::kIndexScan) {
+      node.kind == PhysOpKind::kIndexScan ||
+      node.kind == PhysOpKind::kCachedResultScan) {
     return node.actual_rows >= 0 ? node.actual_rows : 0;
   }
   int64_t total = 0;

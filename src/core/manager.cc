@@ -47,6 +47,29 @@ size_t SumPartitionField(const PhysOpPtr& root,
   return total;
 }
 
+// Counts the CachedResultScan leaves of an executed plan and the rows
+// they emitted — the per-query reuse exposure (QueryOutcome /
+// QueryResponse `reused_subtrees` and `reuse_rows_served`).
+void CollectReuseServed(const PhysOpPtr& root, size_t* subtrees,
+                        size_t* rows) {
+  if (root == nullptr) return;
+  if (root->kind == PhysOpKind::kCachedResultScan) {
+    ++*subtrees;
+    if (root->actual_rows > 0) *rows += static_cast<size_t>(root->actual_rows);
+  }
+  for (const PhysOpPtr& child : root->children) {
+    CollectReuseServed(child, subtrees, rows);
+  }
+}
+
+// Injects the reuse store into the optimizer's options at manager
+// construction (the store pointer is stable for the manager's lifetime).
+OptimizerOptions WithReuseSource(OptimizerOptions options,
+                                 const ReuseSpliceSource* source) {
+  if (source != nullptr) options.reuse_source = source;
+  return options;
+}
+
 }  // namespace
 
 std::string QueryOutcome::Timings::ToString() const {
@@ -101,7 +124,11 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
       config_(config),
       init_status_(config.Validate()),
       planner_(catalog),
-      optimizer_(catalog, stats, optimizer_options),
+      reuse_store_(config.reuse.enabled
+                       ? std::make_unique<ReuseStore>(config.reuse)
+                       : nullptr),
+      optimizer_(catalog, stats,
+                 WithReuseSource(optimizer_options, reuse_store_.get())),
       detector_(config),
       metrics_(ResolveInstruments()) {
   if (!init_status_.ok()) return;  // unusable: don't hook catalog events
@@ -133,17 +160,33 @@ EmptyResultManager::EmptyResultManager(Catalog* catalog, StatsCatalog* stats,
                                        (*table)->schema(),
                                        *event.inserted_rows,
                                        (*table)->partition_scheme());
+          if (reuse_store_ != nullptr) {
+            reuse_store_->OnRelationInserted(
+                event.table_name, (*table)->schema(), *event.inserted_rows);
+          }
         } else {
           detector_.OnRelationUpdated(event.table_name);
+          if (reuse_store_ != nullptr) {
+            reuse_store_->OnRelationUpdated(event.table_name);
+          }
         }
         break;
       }
       case TableUpdateEvent::Kind::kDelete:
         detector_.OnRelationDeleted(event.table_name);
+        // Unlike C_aqp (where deletions invalidate nothing), a deletion
+        // can shrink a cached non-empty intermediate; the store drops
+        // those and keeps the zero-row facts.
+        if (reuse_store_ != nullptr) {
+          reuse_store_->OnRelationDeleted(event.table_name);
+        }
         break;
       case TableUpdateEvent::Kind::kDropTable:
       case TableUpdateEvent::Kind::kGeneric:
         detector_.OnRelationUpdated(event.table_name);
+        if (reuse_store_ != nullptr) {
+          reuse_store_->OnRelationUpdated(event.table_name);
+        }
         break;
     }
   });
@@ -403,26 +446,32 @@ StatusOr<QueryOutcome> EmptyResultManager::FinishChecked(
     }
   }
 
+  std::vector<HarvestedIntermediate> harvested;
   {
     ScopedSpan span(metrics_.stage_execute, &outcome.timings.execute_seconds);
-    if (config_.partition_pruning) {
-      // Pruner + oracle are stack-local but must outlive Run (they are
-      // consulted from TableScanIter::Open); the detector they borrow is
-      // internally synchronized, so probes are safe mid-execution.
-      DetectorPartitionOracle oracle(&detector_);
-      PartitionPruner pruner(&oracle);
-      ExecOptions exec_options;
-      exec_options.pruner = &pruner;
-      ERQ_ASSIGN_OR_RETURN(outcome.result,
-                           Executor::Run(physical, exec_options));
-    } else {
-      ERQ_ASSIGN_OR_RETURN(outcome.result, Executor::Run(physical));
+    // Pruner + oracle are stack-local but must outlive Run (they are
+    // consulted from TableScanIter::Open); the detector they borrow is
+    // internally synchronized, so probes are safe mid-execution.
+    DetectorPartitionOracle oracle(&detector_);
+    PartitionPruner pruner(&oracle);
+    ExecOptions exec_options;
+    if (config_.partition_pruning) exec_options.pruner = &pruner;
+    // Harvest only for high-cost queries: the gate already decided this
+    // query was worth checking, so its intermediates are the ones later
+    // high-cost queries are likely to repeat (§2.2's economics applied to
+    // sub-plans).
+    if (reuse_store_ != nullptr && outcome.high_cost) {
+      exec_options.harvest = &harvested;
+      exec_options.harvest_max_rows = config_.reuse.max_rows;
     }
+    ERQ_ASSIGN_OR_RETURN(outcome.result, Executor::Run(physical, exec_options));
   }
   outcome.partitions_scanned =
       SumPartitionField(physical, &PhysicalOperator::partitions_scanned);
   outcome.partitions_pruned =
       SumPartitionField(physical, &PhysicalOperator::partitions_pruned);
+  CollectReuseServed(physical, &outcome.reused_subtrees,
+                     &outcome.reuse_rows_served);
   outcome.executed = true;
   outcome.result_rows = outcome.result.rows.size();
   outcome.result_empty = outcome.result.rows.empty();
@@ -469,9 +518,43 @@ StatusOr<QueryOutcome> EmptyResultManager::FinishChecked(
     outcome.partition_aqps_recorded =
         detector_.RecordPartitionEmpties(physical);
   }
+
+  if (reuse_store_ != nullptr && !harvested.empty()) {
+    ScopedSpan span(metrics_.stage_record, &outcome.timings.record_seconds);
+    outcome.intermediates_harvested = HarvestIntermediates(harvested);
+  }
+  if (outcome.reused_subtrees > 0 || outcome.intermediates_harvested > 0) {
+    MutexLock lock(&mu_);
+    stats_.reused_subtrees += outcome.reused_subtrees;
+    stats_.intermediates_harvested += outcome.intermediates_harvested;
+  }
   outcome.timings.total_seconds = total_timer.Seconds();
   metrics_.query_total->Observe(outcome.timings.total_seconds);
   return outcome;
+}
+
+size_t EmptyResultManager::HarvestIntermediates(
+    const std::vector<HarvestedIntermediate>& harvested) {
+  size_t admitted = 0;
+  for (const HarvestedIntermediate& h : harvested) {
+    if (h.node == nullptr || h.rows == nullptr) continue;
+    StatusOr<std::vector<AtomicQueryPart>> parts =
+        DecomposePhysicalPart(h.node, config_.dnf);
+    // Only a single-part decomposition is storable: a multi-term DNF
+    // describes per-term row sets, but the harvested rows are the full
+    // sigma over the disjunction. (Filter-over-TableScan always yields
+    // exactly one relation; the store re-checks that invariant.)
+    if (!parts.ok() || parts->size() != 1) continue;
+    const AtomicQueryPart& part = (*parts)[0];
+    if (reuse_store_->Admit(part, h.rows, h.node->estimated_cost)) {
+      ++admitted;
+      // Unification with C_aqp: a zero-row intermediate is exactly an
+      // emptiness fact, so plain detection benefits from it too — even
+      // though the whole query may have returned rows.
+      if (h.rows->empty()) detector_.cache().Insert(part);
+    }
+  }
+  return admitted;
 }
 
 double EmptyResultManager::EffectiveCostThreshold() const {

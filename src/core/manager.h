@@ -19,6 +19,7 @@
 #include "persist/persistence.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
+#include "reuse/reuse_store.h"
 #include "sql/parser.h"
 #include "stats/analyzer.h"
 
@@ -77,6 +78,11 @@ struct QueryOutcome {
                                   ///< stored (relation, partition) knowledge
   size_t partition_aqps_recorded = 0;  ///< (relation, partition) parts stored
                                        ///< from zero-match scanned partitions
+  size_t reused_subtrees = 0;    ///< plan subtrees replaced by spliced
+                                 ///< reuse-store entries (CachedResultScan)
+  size_t reuse_rows_served = 0;  ///< rows those spliced scans emitted
+  size_t intermediates_harvested = 0;  ///< operator outputs admitted into
+                                       ///< the reuse store after execution
   double estimated_cost = 0.0;  ///< optimizer cost estimate for the plan
   bool high_cost = false;       ///< estimated_cost > C_cost
 
@@ -117,6 +123,9 @@ struct ManagerStats {
   uint64_t empty_results = 0;   ///< executed and came back empty
   uint64_t recorded = 0;        ///< executions harvested into C_aqp
   uint64_t branches_pruned = 0;  ///< §2.5 set-op branches removed
+  uint64_t reused_subtrees = 0;  ///< plan subtrees served from the reuse store
+  uint64_t intermediates_harvested = 0;  ///< operator outputs admitted into
+                                         ///< the reuse store
   /// Execution seconds avoided by detection hits, estimated from the
   /// adaptive gate's exec_time(c) ~ alpha * c fit.
   double execute_seconds_saved_estimate = 0.0;
@@ -197,6 +206,13 @@ class EmptyResultManager {
   /// The detection engine (and, through it, the C_aqp collection).
   EmptyResultDetector& detector() { return detector_; }
 
+  /// The intermediate-result reuse store, or nullptr when
+  /// config.reuse.enabled is false (DESIGN.md §13). Internally
+  /// synchronized; exposed for inspection tools and tests.
+  ReuseStore* reuse_store() { return reuse_store_.get(); }
+  /// Read-only view of the reuse store (nullptr when disabled).
+  const ReuseStore* reuse_store() const { return reuse_store_.get(); }
+
   /// Value-type snapshot of the aggregate counters, taken under the lock.
   ManagerStats stats_snapshot() const {
     MutexLock lock(&mu_);
@@ -275,11 +291,23 @@ class EmptyResultManager {
   StatusOr<QueryOutcome> FinishChecked(PreparedStatement prep,
                                        std::optional<CheckResult> check);
 
+  /// Offers each executed-run intermediate to the reuse store: decompose
+  /// the Filter-over-TableScan subtree into the atomic-part normal form,
+  /// admit single-part single-relation shapes, and mirror zero-row
+  /// admissions into C_aqp (a zero-row intermediate IS an emptiness
+  /// fact). Returns the number admitted.
+  size_t HarvestIntermediates(
+      const std::vector<HarvestedIntermediate>& harvested);
+
   Catalog* catalog_;
   StatsCatalog* stats_catalog_;
   const EmptyResultConfig config_;
   Status init_status_;
   Planner planner_;
+  /// Declared before optimizer_: the optimizer's options capture the
+  /// store as its ReuseSpliceSource at construction. Null when
+  /// config.reuse.enabled is false.
+  std::unique_ptr<ReuseStore> reuse_store_;
   Optimizer optimizer_;
   EmptyResultDetector detector_;
   const Instruments metrics_;

@@ -84,6 +84,9 @@ QueryResponse QueryResponse::FromOutcome(const QueryOutcome& outcome,
   out.partitions_scanned = outcome.partitions_scanned;
   out.partitions_pruned = outcome.partitions_pruned;
   out.partition_aqps_recorded = outcome.partition_aqps_recorded;
+  out.reused_subtrees = outcome.reused_subtrees;
+  out.reuse_rows_served = outcome.reuse_rows_served;
+  out.intermediates_harvested = outcome.intermediates_harvested;
   out.estimated_cost = outcome.estimated_cost;
   out.timings = outcome.timings;
   for (const BoundColumn& c : outcome.result.layout.columns()) {
@@ -148,6 +151,10 @@ std::string QueryResponse::ToJson() const {
   out += ",\"partitions_pruned\":" + std::to_string(partitions_pruned);
   out += ",\"partition_aqps_recorded\":" +
          std::to_string(partition_aqps_recorded);
+  out += ",\"reused_subtrees\":" + std::to_string(reused_subtrees);
+  out += ",\"reuse_rows_served\":" + std::to_string(reuse_rows_served);
+  out += ",\"intermediates_harvested\":" +
+         std::to_string(intermediates_harvested);
   out += ",\"estimated_cost\":" + JsonNumber(estimated_cost);
   out += "},\"timings\":{";
   out += "\"parse_seconds\":" + JsonNumber(timings.parse_seconds);
@@ -229,6 +236,17 @@ std::string QueryResponse::ToText() const {
   if (partition_aqps_recorded > 0) {
     std::snprintf(buf, sizeof(buf), "; %zu partition part(s) recorded",
                   partition_aqps_recorded);
+    out += buf;
+  }
+  if (reused_subtrees > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "; %zu subtree(s) reused (%zu cached row(s) served)",
+                  reused_subtrees, reuse_rows_served);
+    out += buf;
+  }
+  if (intermediates_harvested > 0) {
+    std::snprintf(buf, sizeof(buf), "; %zu intermediate(s) harvested",
+                  intermediates_harvested);
     out += buf;
   }
   if (!rows.empty() && !columns.empty()) {

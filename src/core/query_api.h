@@ -93,6 +93,10 @@ struct QueryResponse {
   size_t partitions_pruned = 0;   ///< partitions skipped via zone maps or
                                   ///< stored (relation, partition) parts
   size_t partition_aqps_recorded = 0;  ///< (relation, partition) parts stored
+  size_t reused_subtrees = 0;    ///< plan subtrees served from the reuse store
+  size_t reuse_rows_served = 0;  ///< rows emitted by those spliced scans
+  size_t intermediates_harvested = 0;  ///< operator outputs admitted into
+                                       ///< the reuse store after execution
   double estimated_cost = 0.0;   ///< optimizer cost estimate
 
   QueryOutcome::Timings timings;  ///< per-stage wall-clock breakdown

@@ -79,6 +79,14 @@ Status WalkPhysical(const PhysicalOperator& node, SimplifiedQueryPart* out) {
     case PhysOpKind::kTableScan:
       out->scans.emplace_back(node.alias, node.table_name);
       return Status::OK();
+    case PhysOpKind::kCachedResultScan:
+      // A spliced reuse entry stands in for the table scan it replaced;
+      // the residual Filter above it always re-applies the query's full
+      // predicate over the relation (splice never consumes conjuncts),
+      // so the part this walk produces is the same one the unspliced
+      // plan would yield.
+      out->scans.emplace_back(node.alias, node.table_name);
+      return Status::OK();
     case PhysOpKind::kIndexScan: {
       // T3: table scan + selection(index condition) [+ residual].
       out->scans.emplace_back(node.alias, node.table_name);

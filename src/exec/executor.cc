@@ -206,6 +206,32 @@ class IndexScanIter : public Iter {
   size_t pos_ = 0;
 };
 
+/// Serves a spliced reuse-store entry: emits the stored materialized
+/// rows verbatim. They were harvested in ascending row order from the
+/// table-scan path, so downstream output is byte-identical to the plan
+/// the splice replaced. The base table is never touched — the rows are
+/// pinned by the shared_ptr even if the store evicts the entry mid-run.
+class CachedResultScanIter : public Iter {
+ public:
+  explicit CachedResultScanIter(const PhysicalOperator& op) : op_(op) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  StatusOr<std::optional<Row>> Next() override {
+    if (op_.cached_rows == nullptr || pos_ >= op_.cached_rows->size()) {
+      return std::optional<Row>{};
+    }
+    return std::optional<Row>((*op_.cached_rows)[pos_++]);
+  }
+
+ private:
+  const PhysicalOperator& op_;
+  size_t pos_ = 0;
+};
+
 class FilterIter : public Iter {
  public:
   FilterIter(const PhysicalOperator& op, IterPtr child)
@@ -225,6 +251,54 @@ class FilterIter : public Iter {
  private:
   const PhysicalOperator& op_;
   IterPtr child_;
+};
+
+/// Buffers the rows flowing out of one Filter-over-TableScan node and,
+/// on observed end of stream, delivers the complete materialization to
+/// the run's harvest sink. The buffer is abandoned the instant it would
+/// exceed the row cap, so oversized intermediates are never
+/// double-materialized. Delivery strictly requires end of stream: a
+/// parent that stops pulling early leaves the buffer undelivered,
+/// because a partial output is not sigma_condition(relation). (Every
+/// current operator drains its children to exhaustion whenever the root
+/// drains, so in practice harvest always fires for completed runs.)
+class HarvestIter : public Iter {
+ public:
+  HarvestIter(PhysOpPtr node, IterPtr inner, const ExecOptions& options)
+      : node_(std::move(node)), inner_(std::move(inner)), options_(options) {}
+
+  Status Open() override {
+    buffer_ = std::make_shared<std::vector<Row>>();
+    delivered_ = false;
+    return inner_->Open();
+  }
+
+  StatusOr<std::optional<Row>> Next() override {
+    ERQ_ASSIGN_OR_RETURN(std::optional<Row> row, inner_->Next());
+    if (!row.has_value()) {
+      if (buffer_ != nullptr && !delivered_) {
+        delivered_ = true;
+        options_.harvest->push_back(HarvestedIntermediate{node_, buffer_});
+        buffer_.reset();
+      }
+      return row;
+    }
+    if (buffer_ != nullptr) {
+      if (buffer_->size() >= options_.harvest_max_rows) {
+        buffer_.reset();  // over the cap: abandon, stop copying
+      } else {
+        buffer_->push_back(*row);
+      }
+    }
+    return row;
+  }
+
+ private:
+  PhysOpPtr node_;
+  IterPtr inner_;
+  const ExecOptions& options_;
+  std::shared_ptr<std::vector<Row>> buffer_;
+  bool delivered_ = false;
 };
 
 class ProjectIter : public Iter {
@@ -865,9 +939,20 @@ StatusOr<IterPtr> MakeInner(const PhysOpPtr& op, const ExecOptions& options) {
       return IterPtr(new TableScanIter(op.get(), options));
     case PhysOpKind::kIndexScan:
       return IterPtr(new IndexScanIter(*op));
+    case PhysOpKind::kCachedResultScan:
+      return IterPtr(new CachedResultScanIter(*op));
     case PhysOpKind::kFilter: {
       ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));
-      return IterPtr(new FilterIter(*op, std::move(child)));
+      IterPtr filter(new FilterIter(*op, std::move(child)));
+      // Harvest only the Filter-over-TableScan shape: its output is the
+      // complete sigma_predicate(relation) in ascending row order (even
+      // under partition pruning, which only skips rows the filter would
+      // reject) — the one intermediate the reuse store can serve soundly.
+      if (options.harvest != nullptr &&
+          op->children[0]->kind == PhysOpKind::kTableScan) {
+        return IterPtr(new HarvestIter(op, std::move(filter), options));
+      }
+      return filter;
     }
     case PhysOpKind::kProject: {
       ERQ_ASSIGN_OR_RETURN(IterPtr child, MakeIter(op->children[0], options));

@@ -23,6 +23,21 @@ struct ExecutionResult {
   bool empty() const { return rows.empty(); }
 };
 
+/// One intermediate captured during execution for the reuse store: a
+/// Filter-over-TableScan node together with its complete materialized
+/// output. Only this shape is harvested — a Filter's output above an
+/// unpruned-or-pruned table scan is provably the full
+/// sigma_predicate(relation) in ascending row order (pruning only drops
+/// rows that fail the scan condition, which the filter re-applies), so
+/// the rows are sound to serve to any covered future sub-plan.
+struct HarvestedIntermediate {
+  /// The Filter node (its subtree is what a splice would replace).
+  PhysOpPtr node;
+  /// The node's complete output; present only when end-of-stream was
+  /// observed under the row cap.
+  std::shared_ptr<std::vector<Row>> rows;
+};
+
 /// Per-run executor options.
 struct ExecOptions {
   /// When non-null, table scans over partitioned tables with a derived
@@ -30,6 +45,16 @@ struct ExecOptions {
   /// partitions (in globally ascending row order, so results are
   /// byte-identical to the full scan). Must outlive the Run call.
   const PartitionPruner* pruner = nullptr;
+
+  /// When non-null, every Filter-over-TableScan output whose observed
+  /// cardinality stays at or under `harvest_max_rows` is buffered and
+  /// appended here (the executor abandons a buffer the moment the cap is
+  /// exceeded, so oversized intermediates cost no materialization). The
+  /// caller — EmptyResultManager — decomposes each into the atomic-part
+  /// normal form and offers it to the reuse store. Must outlive Run.
+  std::vector<HarvestedIntermediate>* harvest = nullptr;
+  /// Row cap for harvest buffering (ReuseConfig::max_rows).
+  size_t harvest_max_rows = 0;
 };
 
 /// Pull-based (Volcano) executor over physical plans. Every operator

@@ -27,6 +27,15 @@ namespace erq {
 /// Views are managed LRU under the same capacity budget as C_aqp, making
 /// hit-rate comparisons apples-to-apples.
 ///
+/// Relation to the intermediate-result reuse store (src/reuse/,
+/// DESIGN.md §13): ReuseStore generalizes this baseline's idea from
+/// "whole empty queries, exact match" to "single-relation intermediates
+/// of any low cardinality, covered match". An MvEmptyCache view is the
+/// degenerate reuse entry — zero rows, whole-query scope, no
+/// residual-predicate reasoning — kept as its own class because it
+/// exists to measure the *conventional* MV discipline (§2.6), not to be
+/// fast.
+///
 /// Thread safety: like CaqpCache, all public methods are internally
 /// synchronized with a single mutex — the baseline is consulted by the
 /// same concurrent sessions as C_aqp, and even lookups mutate LRU order

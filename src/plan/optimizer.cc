@@ -403,36 +403,62 @@ StatusOr<PhysOpPtr> Optimizer::BuildAccessPath(
     scan->estimated_cost =
         cost_model_.IndexScanCost(table_rows, scan->estimated_rows);
   } else {
-    scan = PhysicalOperator::Make(PhysOpKind::kTableScan);
-    scan->table = table;
-    scan->table_name = table_name;
-    scan->alias = alias;
-    scan->layout = scan_layout;
-    scan->estimated_rows = table_rows;
-    scan->estimated_cost = cost_model_.TableScanCost(table_rows);
-    if (table->partitioned() && !conjuncts.empty()) {
-      // Derive the partition-pruning scan condition: the conjunction of
-      // the primitive-classifiable single-table conjuncts, with the alias
-      // rewritten to the canonical (lowercased base table) relation name.
-      // Conjuncts that fail classification are simply left out — a weaker
-      // condition still implied by the full predicate, so pruning against
-      // it stays sound (the Filter above applies everything regardless;
-      // the conjuncts vector is deliberately not consumed here).
-      std::unordered_map<std::string, std::string> to_canonical{
-          {ToLower(alias), ToLower(table_name)}};
-      std::vector<PrimitiveTerm> terms;
-      std::vector<ExprPtr> probe_parts;
-      for (const ExprPtr& c : conjuncts) {
-        StatusOr<ExprPtr> canonical = RewriteQualifiers(c, to_canonical);
-        if (!canonical.ok()) continue;
-        StatusOr<PrimitiveTerm> term = PrimitiveTerm::FromExpr(canonical.value());
-        if (!term.ok()) continue;
-        if (term.value().kind() == PrimitiveTerm::Kind::kOpaque) continue;
-        terms.push_back(std::move(term).value());
-        probe_parts.push_back(c);
+    // Canonicalize the primitive-classifiable single-table conjuncts once:
+    // the alias is rewritten to the canonical (lowercased base table)
+    // relation name and unclassifiable conjuncts are simply left out. The
+    // resulting conjunction is *weaker* than the full local predicate but
+    // still implied by it, so both of its consumers stay sound: the reuse
+    // probe (a stored condition covering the weak probe also covers the
+    // full predicate) and partition pruning (every emitted row still
+    // passes the Filter above; the conjuncts vector is deliberately not
+    // consumed here).
+    std::unordered_map<std::string, std::string> to_canonical{
+        {ToLower(alias), ToLower(table_name)}};
+    std::vector<PrimitiveTerm> terms;
+    std::vector<ExprPtr> probe_parts;
+    for (const ExprPtr& c : conjuncts) {
+      StatusOr<ExprPtr> canonical = RewriteQualifiers(c, to_canonical);
+      if (!canonical.ok()) continue;
+      StatusOr<PrimitiveTerm> term = PrimitiveTerm::FromExpr(canonical.value());
+      if (!term.ok()) continue;
+      if (term.value().kind() == PrimitiveTerm::Kind::kOpaque) continue;
+      terms.push_back(std::move(term).value());
+      probe_parts.push_back(c);
+    }
+    Conjunction canonical_condition = Conjunction::Make(std::move(terms));
+
+    if (options_.reuse_source != nullptr) {
+      // Reuse splice: a stored intermediate covering the probe is a
+      // superset of this scan's filtered output, in the same (ascending
+      // row) order the table scan would emit — so the cached rows replace
+      // the scan byte-for-byte once the Filter built below re-applies the
+      // full local predicate as the residual.
+      std::optional<ReuseSplice> hit = options_.reuse_source->Lookup(
+          ToLower(table_name), canonical_condition);
+      if (hit.has_value()) {
+        scan = PhysicalOperator::Make(PhysOpKind::kCachedResultScan);
+        scan->table = table;
+        scan->table_name = table_name;
+        scan->alias = alias;
+        scan->layout = scan_layout;
+        scan->cached_rows = hit->rows;
+        scan->reuse_entry_id = hit->entry_id;
+        scan->scan_condition = std::move(hit->stored_condition);
+        scan->has_scan_condition = scan->scan_condition.size() > 0;
+        scan->estimated_rows = static_cast<double>(hit->rows->size());
+        scan->estimated_cost = cost_model_.TableScanCost(scan->estimated_rows);
       }
-      if (!terms.empty()) {
-        scan->scan_condition = Conjunction::Make(std::move(terms));
+    }
+    if (scan == nullptr) {
+      scan = PhysicalOperator::Make(PhysOpKind::kTableScan);
+      scan->table = table;
+      scan->table_name = table_name;
+      scan->alias = alias;
+      scan->layout = scan_layout;
+      scan->estimated_rows = table_rows;
+      scan->estimated_cost = cost_model_.TableScanCost(table_rows);
+      if (table->partitioned() && canonical_condition.size() > 0) {
+        scan->scan_condition = std::move(canonical_condition);
         scan->has_scan_condition = true;
         ERQ_ASSIGN_OR_RETURN(
             scan->partition_probe,

@@ -7,6 +7,7 @@
 #include "plan/cost_model.h"
 #include "plan/logical_plan.h"
 #include "plan/physical_plan.h"
+#include "plan/reuse_source.h"
 
 namespace erq {
 
@@ -15,6 +16,14 @@ struct OptimizerOptions {
   bool enable_hash_join = true;
   /// Use sort-merge instead of hash for equi-joins (ablation/testing knob).
   bool prefer_merge_join = false;
+  /// When non-null, the splice pass probes this store while building
+  /// table-scan access paths and replaces covered scans with
+  /// CachedResultScan nodes (borrowed; must outlive the optimizer). The
+  /// splice fires only where the table-scan path would have been chosen —
+  /// an index scan emits rows in index order, the cached rows in ascending
+  /// row order, so splicing over an index-scan decision would change the
+  /// byte-level output with reuse on vs. off.
+  const ReuseSpliceSource* reuse_source = nullptr;
 };
 
 /// Translates logical plans into executable physical plans:

@@ -10,6 +10,8 @@ const char* PhysOpKindToString(PhysOpKind kind) {
       return "TableScan";
     case PhysOpKind::kIndexScan:
       return "IndexScan";
+    case PhysOpKind::kCachedResultScan:
+      return "CachedResultScan";
     case PhysOpKind::kFilter:
       return "Filter";
     case PhysOpKind::kProject:
@@ -62,6 +64,15 @@ std::string PhysicalOperator::ToString(int indent) const {
                " pruned=" +
                std::to_string(static_cast<long long>(partitions_pruned)) + ")";
       }
+      break;
+    case PhysOpKind::kCachedResultScan:
+      out += " " + table_name;
+      if (alias != table_name) out += " AS " + alias;
+      if (has_scan_condition && scan_condition.size() > 0) {
+        out += " stored [" + scan_condition.ToString() + "]";
+      }
+      out += " rows=" +
+             std::to_string(cached_rows == nullptr ? 0 : cached_rows->size());
       break;
     case PhysOpKind::kIndexScan:
       out += " " + table_name;

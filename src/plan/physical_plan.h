@@ -18,6 +18,9 @@ namespace erq {
 enum class PhysOpKind {
   kTableScan,
   kIndexScan,   // range access via a SortedIndex + optional residual filter
+  kCachedResultScan,  // emits the materialized rows of a reuse-store
+                      // intermediate (sigma_stored(table), ascending row
+                      // order) instead of re-scanning the base table
   kFilter,
   kProject,
   kNestedLoopsJoin,
@@ -57,10 +60,20 @@ struct PhysicalOperator {
   std::vector<PhysOpPtr> children;
   Layout layout;  // output layout
 
-  // kTableScan / kIndexScan
+  // kTableScan / kIndexScan / kCachedResultScan
   const Table* table = nullptr;
   std::string table_name;
   std::string alias;
+
+  // kCachedResultScan: the reuse-store rows this scan emits (scan layout,
+  // ascending row order; shared with the store so eviction cannot free
+  // them mid-run) and the id of the entry they came from. The stored
+  // entry's condition is carried in `scan_condition` for display — the
+  // node's output is sigma_{scan_condition}(table), NOT the bare table,
+  // which is why a zero-row cached scan is only *conditionally* empty
+  // (see core/decompose.cc).
+  std::shared_ptr<const std::vector<Row>> cached_rows;
+  uint64_t reuse_entry_id = 0;
 
   // kIndexScan
   SortedIndex* index = nullptr;
@@ -96,6 +109,8 @@ struct PhysicalOperator {
   // partitions via zone maps and C_aqp partition-tagged knowledge. A
   // *weaker* condition than the full local predicate — every emitted row
   // still passes the Filter above — so pruning against it is sound.
+  // kCachedResultScan: the stored entry's condition (what the cached rows
+  // are a selection by), display/diagnostic only.
   Conjunction scan_condition;
   bool has_scan_condition = false;
   /// scan_condition as an executable predicate bound to the scan layout;

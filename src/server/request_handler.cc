@@ -2,6 +2,7 @@
 
 #include "common/json.h"
 #include "core/query_api.h"
+#include "reuse/reuse_store.h"
 
 namespace erq {
 
@@ -194,7 +195,10 @@ HttpResponse RequestHandler::HandleMetrics() {
 
 HttpResponse RequestHandler::HandleAdminCache() {
   std::string body = "{\"schema\":\"erq.admin.cache.v1\",\"quota\":" +
-                     std::to_string(tenants_->quota()) + ",\"tenants\":{";
+                     std::to_string(tenants_->quota()) +
+                     ",\"reuse_quota_bytes\":" +
+                     std::to_string(tenants_->reuse_quota()) +
+                     ",\"tenants\":{";
   bool first = true;
   for (TenantRegistry::Tenant* tenant : tenants_->Tenants()) {
     const CaqpCache& cache = tenant->manager->detector().cache();
@@ -210,6 +214,23 @@ HttpResponse RequestHandler::HandleAdminCache() {
     body += ",\"evictions\":" + std::to_string(stats.evictions);
     body += ",\"invalidation_drops\":" +
             std::to_string(stats.invalidation_drops);
+    // Reuse-store occupancy and hit counters ride along so one admin
+    // call answers "who is spending the cache budget on what". null
+    // when the tenant template has reuse disabled (no store exists).
+    if (const ReuseStore* reuse = tenant->manager->reuse_store()) {
+      const ReuseStoreStats rs = reuse->stats_snapshot();
+      body += ",\"reuse\":{\"entries\":" + std::to_string(rs.entries);
+      body += ",\"bytes\":" + std::to_string(rs.bytes);
+      body += ",\"lookups\":" + std::to_string(rs.lookups);
+      body += ",\"hits\":" + std::to_string(rs.hits);
+      body += ",\"rows_served\":" + std::to_string(rs.rows_served);
+      body += ",\"admitted\":" + std::to_string(rs.admitted);
+      body += ",\"evictions\":" + std::to_string(rs.evictions);
+      body += ",\"invalidated\":" + std::to_string(rs.invalidated);
+      body += "}";
+    } else {
+      body += ",\"reuse\":null";
+    }
     body += "}";
   }
   body += "}}";

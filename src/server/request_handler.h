@@ -10,7 +10,8 @@
 /// Routes:
 ///   POST /v1/query                  run one query or one batch
 ///   GET  /metrics                   erq.metrics.v1 registry snapshot
-///   GET  /v1/admin/cache            per-tenant C_aqp occupancy + stats
+///   GET  /v1/admin/cache            per-tenant C_aqp + reuse-store
+///                                   occupancy and hit statistics
 ///   POST /v1/admin/invalidate?table=T  drop detection state for a table
 
 #include <string>

@@ -34,6 +34,7 @@ StatusOr<TenantRegistry::Tenant*> TenantRegistry::GetOrCreate(
   tenant->name = resolved;
   EmptyResultConfig config = options_.tenant_config;
   config.n_max = quota_;
+  if (config.reuse.enabled) config.reuse.budget_bytes = reuse_quota_;
   tenant->manager =
       std::make_unique<EmptyResultManager>(catalog_, stats_, config);
   ERQ_RETURN_IF_ERROR(tenant->manager->init_status());

@@ -7,7 +7,10 @@
 /// (or evict) another tenant's queries. Tenants are created lazily on
 /// first use; the server's global C_aqp memory budget
 /// (ServerOptions::global_n_max) is split into equal static per-tenant
-/// quotas so a noisy tenant cannot starve the rest.
+/// quotas so a noisy tenant cannot starve the rest. The reuse-store
+/// byte budget (ServerOptions::global_reuse_bytes) is split the same
+/// way: a tenant hoarding large intermediates spends only its own
+/// slice.
 ///
 /// All tenants share the server's one Catalog + StatsCatalog (the data
 /// is common; only detection state is isolated).
@@ -54,7 +57,8 @@ class TenantRegistry {
       : catalog_(catalog),
         stats_(stats),
         options_(options),
-        quota_(options.global_n_max / options.max_tenants) {}
+        quota_(options.global_n_max / options.max_tenants),
+        reuse_quota_(options.global_reuse_bytes / options.max_tenants) {}
 
   /// Resolves `name` ("" = kDefaultTenant), creating the tenant on
   /// first use. Errors: InvalidArgument for names outside
@@ -78,6 +82,11 @@ class TenantRegistry {
   /// Per-tenant C_aqp quota (global_n_max / max_tenants).
   size_t quota() const { return quota_; }
 
+  /// Per-tenant reuse-store byte quota (global_reuse_bytes /
+  /// max_tenants). Applied as each tenant's reuse.budget_bytes when the
+  /// tenant template enables reuse; otherwise informational only.
+  size_t reuse_quota() const { return reuse_quota_; }
+
   /// Propagates a table update to every tenant's manager (the admin
   /// invalidation endpoint). Returns the number of tenants notified.
   size_t InvalidateTable(const std::string& table) ERQ_EXCLUDES(mu_);
@@ -92,6 +101,7 @@ class TenantRegistry {
   StatsCatalog* stats_;
   const ServerOptions options_;
   const size_t quota_;
+  const size_t reuse_quota_;
 
   /// Held across lazy manager construction; every engine lock ranks
   /// above it (see lock_order.h).

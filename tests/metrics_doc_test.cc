@@ -111,6 +111,15 @@ void ExerciseAllModules() {
                                      Value::Int(0)}})
                   .ok());
 
+  // Reuse store: a harvested-then-spliced selective scan registers the
+  // erq.reuse.* counter and gauge groups.
+  EmptyResultConfig reuse_config;
+  reuse_config.reuse.enabled = true;
+  EmptyResultManager reuse_manager(&db.catalog(), &db.stats(), reuse_config);
+  ASSERT_TRUE(reuse_manager.init_status().ok());
+  ASSERT_TRUE(reuse_manager.Query("select * from B where d >= 1").ok());
+  ASSERT_TRUE(reuse_manager.Query("select * from B where d >= 1").ok());
+
   // Serialization counter group.
   size_t skipped = 0;
   SerializeCache(manager.detector().cache(), &skipped);

@@ -121,7 +121,14 @@ TEST(StableHash, EqualValuesHashEqual) {
 
 TEST(EquiWidth, SplitsObservedRange) {
   std::vector<Row> rows;
-  for (int64_t i = 0; i < 100; ++i) rows.push_back({Value::Int(i)});
+  for (int64_t i = 0; i < 100; ++i) {
+    // Built in two steps: the braced temporary trips a GCC 12
+    // -Wmaybe-uninitialized false positive through the Value variant
+    // under -O2 with sanitizers enabled.
+    Row row;
+    row.push_back(Value::Int(i));
+    rows.push_back(std::move(row));
+  }
   std::vector<Value> bounds = EquiWidthBounds(rows, 0, 4);
   ASSERT_EQ(bounds.size(), 3u);
   for (size_t i = 1; i < bounds.size(); ++i) {

@@ -1,0 +1,200 @@
+// Unit tests of the intermediate-result reuse store (DESIGN.md §13):
+// admission shape/size gates, covered-match lookup, benefit-per-byte
+// eviction under the byte budget, Equals-refresh, and the three
+// invalidation hooks (insert via the §5 update filter, delete keeping
+// zero-row entries, opaque update dropping everything).
+
+#include "reuse/reuse_store.h"
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace erq {
+namespace {
+
+AtomicQueryPart Point(const char* rel, const char* col, int64_t v) {
+  return AtomicQueryPart(
+      RelationSet({rel}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make(rel, col), ValueInterval::Point(Value::Int(v)))}));
+}
+
+AtomicQueryPart Range(const char* rel, const char* col, int64_t lo,
+                      int64_t hi) {
+  return AtomicQueryPart(
+      RelationSet({rel}),
+      Conjunction::Make({PrimitiveTerm::MakeInterval(
+          ColumnId::Make(rel, col),
+          ValueInterval::Range(Value::Int(lo), true, Value::Int(hi), true))}));
+}
+
+std::shared_ptr<const std::vector<Row>> MakeRows(size_t n) {
+  auto rows = std::make_shared<std::vector<Row>>();
+  for (size_t i = 0; i < n; ++i) {
+    rows->push_back({Value::Int(static_cast<int64_t>(i))});
+  }
+  return rows;
+}
+
+ReuseConfig Enabled(size_t budget_bytes = 1u << 20, size_t max_rows = 1024) {
+  ReuseConfig config;
+  config.enabled = true;
+  config.budget_bytes = budget_bytes;
+  config.max_rows = max_rows;
+  return config;
+}
+
+TEST(ReuseStoreTest, AdmitAndCoveredLookup) {
+  ReuseStore store(Enabled());
+  ASSERT_TRUE(store.Admit(Range("t", "x", 0, 100), MakeRows(5), 50.0));
+
+  // probe => stored: the stored range covers the point probe.
+  auto hit = store.Lookup("t", Point("t", "x", 42).condition());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rows->size(), 5u);
+  EXPECT_TRUE(hit->stored_condition.Covers(Point("t", "x", 42).condition()));
+
+  // stored => probe is NOT enough: a wider probe is not covered.
+  EXPECT_FALSE(
+      store.Lookup("t", Range("t", "x", -10, 200).condition()).has_value());
+  // Different relation: miss.
+  EXPECT_FALSE(store.Lookup("u", Point("u", "x", 42).condition()).has_value());
+
+  const ReuseStoreStats stats = store.stats_snapshot();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.rows_served, 5u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ReuseStoreTest, LookupPrefersFewestRows) {
+  ReuseStore store(Enabled());
+  ASSERT_TRUE(store.Admit(Range("t", "x", 0, 100), MakeRows(50), 10.0));
+  ASSERT_TRUE(store.Admit(Range("t", "x", 20, 60), MakeRows(8), 10.0));
+
+  // Both entries cover x = 30; the tighter (fewer-row) one wins so the
+  // residual filter has less to discard.
+  auto hit = store.Lookup("t", Point("t", "x", 30).condition());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rows->size(), 8u);
+
+  // Only the wide entry covers x = 5.
+  hit = store.Lookup("t", Point("t", "x", 5).condition());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rows->size(), 50u);
+}
+
+TEST(ReuseStoreTest, AdmissionGates) {
+  ReuseConfig config = Enabled(/*budget_bytes=*/1u << 20, /*max_rows=*/4);
+  ReuseStore store(config);
+
+  // Over the row cap: rejected.
+  EXPECT_FALSE(store.Admit(Point("t", "x", 1), MakeRows(5), 10.0));
+  // Multi-relation part: not a single-relation intermediate.
+  AtomicQueryPart joined(RelationSet({"t", "u"}),
+                         Point("t", "x", 1).condition());
+  EXPECT_FALSE(store.Admit(joined, MakeRows(1), 10.0));
+  // Null rows: rejected.
+  EXPECT_FALSE(store.Admit(Point("t", "x", 1), nullptr, 10.0));
+  EXPECT_EQ(store.stats_snapshot().rejected, 3u);
+  EXPECT_EQ(store.stats_snapshot().entries, 0u);
+
+  // Disabled store admits nothing.
+  ReuseStore disabled(ReuseConfig{});
+  EXPECT_FALSE(disabled.Admit(Point("t", "x", 1), MakeRows(1), 10.0));
+}
+
+TEST(ReuseStoreTest, EntryLargerThanBudgetRejected) {
+  // Budget below even the fixed per-entry overhead: nothing fits.
+  ReuseStore store(Enabled(/*budget_bytes=*/16));
+  EXPECT_FALSE(store.Admit(Point("t", "x", 1), MakeRows(1), 10.0));
+  EXPECT_EQ(store.stats_snapshot().rejected, 1u);
+}
+
+TEST(ReuseStoreTest, BudgetEvictsLowestBenefitPerByte) {
+  // Budget sized for roughly two of the three same-shape entries.
+  const size_t one_entry = 64 + 5 * EstimateRowBytes({Value::Int(0)});
+  ReuseStore store(Enabled(/*budget_bytes=*/2 * one_entry + one_entry / 2));
+
+  ASSERT_TRUE(store.Admit(Point("t", "x", 1), MakeRows(5), 1.0));    // cheap
+  ASSERT_TRUE(store.Admit(Point("t", "x", 2), MakeRows(5), 100.0));  // dear
+  ASSERT_TRUE(store.Admit(Point("t", "x", 3), MakeRows(5), 50.0));
+
+  const ReuseStoreStats stats = store.stats_snapshot();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The lowest benefit-per-byte entry (saved_cost 1.0) was the victim.
+  EXPECT_FALSE(store.Lookup("t", Point("t", "x", 1).condition()).has_value());
+  EXPECT_TRUE(store.Lookup("t", Point("t", "x", 2).condition()).has_value());
+  EXPECT_TRUE(store.Lookup("t", Point("t", "x", 3).condition()).has_value());
+}
+
+TEST(ReuseStoreTest, EqualsRefreshReplacesRowsInPlace) {
+  ReuseStore store(Enabled());
+  ASSERT_TRUE(store.Admit(Point("t", "x", 7), MakeRows(3), 10.0));
+  ASSERT_TRUE(store.Admit(Point("t", "x", 7), MakeRows(1), 10.0));
+
+  const ReuseStoreStats stats = store.stats_snapshot();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  auto hit = store.Lookup("t", Point("t", "x", 7).condition());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rows->size(), 1u) << "newer rows must win";
+}
+
+TEST(ReuseStoreTest, InsertInvalidationUsesUpdateFilter) {
+  ReuseStore store(Enabled());
+  const Schema schema({{"x", DataType::kInt64}});
+  ASSERT_TRUE(store.Admit(Point("t", "x", 5), MakeRows(2), 10.0));
+
+  // A row provably failing x = 5 cannot change sigma_{x=5}(t): survives.
+  EXPECT_EQ(store.OnRelationInserted("t", schema, {{Value::Int(99)}}), 0u);
+  EXPECT_TRUE(store.Lookup("t", Point("t", "x", 5).condition()).has_value());
+
+  // A matching row could grow the cached set: the entry must go.
+  EXPECT_EQ(store.OnRelationInserted("t", schema, {{Value::Int(5)}}), 1u);
+  EXPECT_FALSE(store.Lookup("t", Point("t", "x", 5).condition()).has_value());
+  EXPECT_EQ(store.stats_snapshot().invalidated, 1u);
+}
+
+TEST(ReuseStoreTest, DeleteKeepsZeroRowEntries) {
+  ReuseStore store(Enabled());
+  ASSERT_TRUE(store.Admit(Point("t", "x", 1), MakeRows(4), 10.0));
+  ASSERT_TRUE(store.Admit(Point("t", "x", 2), MakeRows(0), 10.0));
+  ASSERT_TRUE(store.Admit(Point("u", "y", 3), MakeRows(4), 10.0));
+
+  // Deleting from t can shrink the non-empty entry but never un-empty
+  // the empty one; u is untouched.
+  EXPECT_EQ(store.OnRelationDeleted("t"), 1u);
+  EXPECT_FALSE(store.Lookup("t", Point("t", "x", 1).condition()).has_value());
+  EXPECT_TRUE(store.Lookup("t", Point("t", "x", 2).condition()).has_value());
+  EXPECT_TRUE(store.Lookup("u", Point("u", "y", 3).condition()).has_value());
+
+  // An opaque update drops everything of the relation, empty or not.
+  EXPECT_EQ(store.OnRelationUpdated("t"), 1u);
+  EXPECT_EQ(store.OnRelationUpdated("u"), 1u);
+  EXPECT_EQ(store.stats_snapshot().entries, 0u);
+}
+
+TEST(ReuseStoreTest, ClearAndDescribe) {
+  ReuseStore store(Enabled());
+  ASSERT_TRUE(store.Admit(Point("t", "x", 1), MakeRows(2), 10.0));
+  ASSERT_TRUE(store.Admit(Range("t", "x", 0, 9), MakeRows(3), 20.0));
+
+  const std::vector<std::string> lines = store.DescribeEntries();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("rows=2"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("rows=3"), std::string::npos) << lines[1];
+
+  store.Clear();
+  EXPECT_EQ(store.stats_snapshot().entries, 0u);
+  EXPECT_EQ(store.stats_snapshot().bytes, 0u);
+  EXPECT_TRUE(store.DescribeEntries().empty());
+}
+
+}  // namespace
+}  // namespace erq

@@ -2,14 +2,16 @@
 # Machine-readable C_aqp perf snapshot: runs the microbenchmarks and the
 # concurrent-throughput benchmarks and merges their google-benchmark JSON
 # into one document, so the perf trajectory is tracked PR over PR. The
-# partition-pruning sweep (bench_partition) is merged into its own
-# document, BENCH_partition.json, so the pre-existing BENCH_caqp.json
-# series stays comparable across PRs.
+# partition-pruning sweep (bench_partition) and the intermediate-result
+# reuse sweep (bench_reuse) are each merged into their own documents,
+# BENCH_partition.json and BENCH_reuse.json, so the pre-existing
+# BENCH_caqp.json series stays comparable across PRs.
 #
 #   tools/bench_json.sh [build-dir] [output.json]
 #     build-dir    defaults to build (must contain bench/ binaries)
 #     output.json  defaults to BENCH_caqp.json in the repo root
-#                  (BENCH_partition.json is written next to it)
+#                  (BENCH_partition.json and BENCH_reuse.json are written
+#                  next to it)
 #
 #   BENCH_MIN_TIME=0.01 tools/bench_json.sh   # smoke mode (CI): just prove
 #                                             # the benches run and emit JSON
@@ -35,7 +37,7 @@ fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-for b in bench_concurrent bench_micro bench_partition; do
+for b in bench_concurrent bench_micro bench_partition bench_reuse; do
   bin="$BUILD/bench/$b"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build the bench targets first" >&2
@@ -74,13 +76,20 @@ ZONE_MAP_CAP=$(grep -oE 'zone_map_distinct_cap = [0-9]+' src/core/config.h \
   | grep -oE '[0-9]+')
 
 PART_OUT="$(dirname "$OUT")/BENCH_partition.json"
+REUSE_OUT="$(dirname "$OUT")/BENCH_reuse.json"
+
+# Reuse-store defaults the bench sweeps pivot around, recorded the same
+# way as the concurrency geometry: extracted from the source of truth.
+REUSE_MAX_ROWS=$(grep -oE 'max_rows = [0-9]+' src/core/config.h \
+  | head -1 | grep -oE '[0-9]+')
 
 python3 - "$TMP" "$OUT" "$CAQP_SHARDS" "$EPOCH_BUCKETS" "$EPOCH_STRIPES" \
-  "$PART_OUT" "$ZONE_MAP_CAP" <<'PY'
+  "$PART_OUT" "$ZONE_MAP_CAP" "$REUSE_OUT" "$REUSE_MAX_ROWS" <<'PY'
 import json, os, subprocess, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 part_out = sys.argv[6]
+reuse_out = sys.argv[8]
 
 rev = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
@@ -88,6 +97,7 @@ rev = subprocess.run(
 
 merged = {"context": {}, "benchmarks": {}}
 partition = {"context": {}, "benchmarks": {}}
+reuse = {"context": {}, "benchmarks": {}}
 metrics_path = os.path.join(tmp, "_metrics.out")
 if os.path.exists(metrics_path):
     with open(metrics_path) as f:
@@ -102,7 +112,11 @@ for name in sorted(os.listdir(tmp)):
         continue
     with open(os.path.join(tmp, name)) as f:
         doc = json.load(f)
-    target = partition if name == "bench_partition.json" else merged
+    target = merged
+    if name == "bench_partition.json":
+        target = partition
+    elif name == "bench_reuse.json":
+        target = reuse
     if not target["context"]:
         target["context"] = doc.get("context", {})
     target["benchmarks"][name[: -len(".json")]] = doc.get("benchmarks", [])
@@ -126,4 +140,13 @@ if partition["benchmarks"]:
         json.dump(partition, f, indent=1, sort_keys=True)
         f.write("\n")
     print(f"wrote {part_out}")
+
+if reuse["benchmarks"]:
+    if rev:
+        reuse["context"]["git_revision"] = rev
+    reuse["context"]["reuse_default_max_rows"] = int(sys.argv[9])
+    with open(reuse_out, "w") as f:
+        json.dump(reuse, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {reuse_out}")
 PY

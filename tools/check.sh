@@ -95,6 +95,27 @@ print("partition smoke: OK (%d partitions pruned, %d scanned)"
   else
     bad "plain (partition pruning smoke)"
   fi
+  # Reuse smoke: with the intermediate-result store on, the canned query
+  # pair inside metrics_dump must harvest then splice — the binary itself
+  # fails on zero spliced subtrees, and the emitted registry dump must
+  # carry nonzero erq.reuse.hits (DESIGN.md §13).
+  log "plain: metrics_dump --reuse splice smoke"
+  if "$dir/tools/metrics_dump" --trace tpcr --json --queries 20 \
+      --reuse \
+      | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+hits = doc["counters"]["erq.reuse.hits"]
+assert hits > 0, "reuse splice never fired"
+assert doc["gauges"]["erq.reuse.entries"] > 0, "reuse store is empty"
+print("reuse smoke: OK (%d hits, %d rows served, %d bytes stored)"
+      % (hits, doc["counters"]["erq.reuse.rows_served"],
+         doc["gauges"]["erq.reuse.bytes"]))
+'; then
+    ok "plain (reuse splice smoke)"
+  else
+    bad "plain (reuse splice smoke)"
+  fi
   # Durability smoke: cache_inspect must decode and verify the files a
   # real manager writes (README §Durability).
   log "plain: cache_inspect --verify smoke"
@@ -103,7 +124,8 @@ print("partition smoke: OK (%d partitions pruned, %d scanned)"
   if "$dir/tools/metrics_dump" --trace tpcr --queries 20 \
         --persist-dir "$pdir" > /dev/null \
       && "$dir/tools/cache_inspect" --verify "$pdir" > /dev/null \
-      && "$dir/tools/cache_inspect" --records "$pdir" > /dev/null; then
+      && "$dir/tools/cache_inspect" --records "$pdir" > /dev/null \
+      && "$dir/tools/cache_inspect" --reuse-preview > /dev/null; then
     ok "plain (cache_inspect smoke)"
   else
     bad "plain (cache_inspect smoke)"

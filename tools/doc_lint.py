@@ -30,7 +30,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 TARGET_GLOBS = [("src/core", "*.h"), ("src/persist", "*.h"),
                 ("src/server", "*.h"), ("src/catalog", "*.h"),
-                ("src/exec", "*.h")]
+                ("src/exec", "*.h"), ("src/reuse", "*.h")]
 
 ACCESS_RE = re.compile(r"^(public|private|protected)\s*:")
 SCOPE_OPEN_RE = re.compile(

@@ -30,7 +30,11 @@ void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port N] [--max-connections N]\n"
                "          [--max-tenants N] [--global-n-max N]\n"
-               "          [--customers-per-unit N]\n"
+               "          [--customers-per-unit N] [--enable-reuse]\n"
+               "          [--global-reuse-bytes N]\n"
+               "--enable-reuse turns on the per-tenant intermediate-result\n"
+               "store (DESIGN.md §13); --global-reuse-bytes is the budget\n"
+               "split evenly across tenants (default 64 MiB).\n"
                "Serves until stdin closes or reads a `quit` line.\n",
                argv0);
 }
@@ -49,6 +53,10 @@ int main(int argc, char** argv) {
       PrintUsage(argv[0]);
       return 0;
     }
+    if (arg == "--enable-reuse") {
+      options.tenant_config.reuse.enabled = true;
+      continue;
+    }
     if (value == nullptr) {
       std::fprintf(stderr, "missing value for %s\n", arg.c_str());
       return 2;
@@ -63,6 +71,8 @@ int main(int argc, char** argv) {
       options.max_tenants = static_cast<size_t>(std::atoll(value));
     } else if (arg == "--global-n-max") {
       options.global_n_max = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--global-reuse-bytes") {
+      options.global_reuse_bytes = static_cast<size_t>(std::atoll(value));
     } else if (arg == "--customers-per-unit") {
       customers_per_unit = static_cast<size_t>(std::atoll(value));
     } else {

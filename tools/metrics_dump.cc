@@ -22,6 +22,13 @@
 //                  runs and the tool fails unless it pruned partitions,
 //                  so the erq.exec.partitions.* counters in the dump are
 //                  provably exercised (the check.sh plain-job smoke).
+//   --reuse        enable the intermediate-result reuse store. After the
+//                  trace, a canned selective query runs twice — the first
+//                  execution harvests its Filter-over-TableScan output,
+//                  the second must splice it — and the tool fails unless
+//                  at least one subtree was served from the store, so the
+//                  erq.reuse.* counters in the dump are provably
+//                  exercised (the check.sh plain-job smoke).
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,13 +48,14 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trace tpcr] [--json] [--queries N] "
-               "[--persist-dir D] [--partitions K]\n",
+               "[--persist-dir D] [--partitions K] [--reuse]\n",
                argv0);
   return 2;
 }
 
 int RunTpcrTrace(size_t total_queries, bool json_only,
-                 const std::string& persist_dir, size_t partitions) {
+                 const std::string& persist_dir, size_t partitions,
+                 bool reuse) {
   Catalog catalog;
   TpcrConfig tpcr;
   tpcr.customers_per_unit = 500;
@@ -73,6 +81,7 @@ int RunTpcrTrace(size_t total_queries, bool json_only,
   EmptyResultConfig config;
   config.c_cost = 0.0;  // check everything: exercises the whole pipeline
   config.persist.dir = persist_dir;  // empty = persistence disabled
+  config.reuse.enabled = reuse;
   EmptyResultManager manager(&catalog, &stats, config);
   if (!manager.init_status().ok()) {
     std::fprintf(stderr, "manager: %s\n",
@@ -139,6 +148,41 @@ int RunTpcrTrace(size_t total_queries, bool json_only,
     }
   }
 
+  if (reuse) {
+    // Canned selective scan run twice: the first execution harvests the
+    // filtered output into the reuse store, the second must splice it
+    // back as a kCachedResultScan — otherwise the reuse path is broken.
+    const char* canned =
+        "select custkey, acctbal from customer "
+        "where acctbal >= 0 and acctbal < 500";
+    auto cold = manager.Execute(QueryRequest::Sql(canned));
+    if (!cold.ok()) {
+      std::fprintf(stderr, "reuse smoke (cold): %s\n",
+                   cold.status().ToString().c_str());
+      return 1;
+    }
+    auto hot = manager.Execute(QueryRequest::Sql(canned));
+    if (!hot.ok()) {
+      std::fprintf(stderr, "reuse smoke (hot): %s\n",
+                   hot.status().ToString().c_str());
+      return 1;
+    }
+    if (hot->reused_subtrees == 0) {
+      std::fprintf(stderr,
+                   "reuse smoke: expected a spliced subtree on the second "
+                   "run, got harvested=%zu reused=%zu\n",
+                   cold->intermediates_harvested, hot->reused_subtrees);
+      return 1;
+    }
+    if (!json_only) {
+      std::fprintf(stderr,
+                   "reuse smoke: harvested %zu intermediate(s) cold, "
+                   "spliced %zu subtree(s) serving %zu cached row(s) hot\n",
+                   cold->intermediates_harvested, hot->reused_subtrees,
+                   hot->reuse_rows_served);
+    }
+  }
+
   if (!json_only) {
     ManagerStats ms = manager.stats_snapshot();
     size_t skipped_opaque = 0;
@@ -165,11 +209,14 @@ int Main(int argc, char** argv) {
   std::string trace = "tpcr";
   std::string persist_dir;
   bool json_only = false;
+  bool reuse = false;
   size_t total_queries = 500;
   size_t partitions = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_only = true;
+    } else if (std::strcmp(argv[i], "--reuse") == 0) {
+      reuse = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace = argv[++i];
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
@@ -185,7 +232,8 @@ int Main(int argc, char** argv) {
   if (trace != "tpcr" || total_queries == 0 || partitions == 0) {
     return Usage(argv[0]);
   }
-  return RunTpcrTrace(total_queries, json_only, persist_dir, partitions);
+  return RunTpcrTrace(total_queries, json_only, persist_dir, partitions,
+                      reuse);
 }
 
 }  // namespace
